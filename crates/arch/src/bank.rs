@@ -1,0 +1,421 @@
+//! The functional PCM-MRR weight bank.
+//!
+//! A J×N array of GST-loaded add-drop rings on one WDM bus per row
+//! (Fig. 1 of the paper). Programming writes each ring's GST cell through
+//! the calibrated [`WeightLut`]; a matrix-vector product is then literally
+//! the steady-state optics: every input channel propagates down each row,
+//! each ring drops its own channel in proportion to its weight, the drop
+//! and through rails accumulate, and the balanced detector reads the
+//! signed sum.
+//!
+//! After every programming event the bank pre-computes its **linear
+//! response matrices** `D[r][j]` / `T[r][j]` (drop/through power reaching
+//! the rails from channel `j` of row `r`, including upstream ring
+//! attenuation and inter-channel crosstalk). Optics is linear in power, so
+//! an MVM is two cached mat-vecs — the physics runs once per programming,
+//! not once per vector.
+
+use serde::{Deserialize, Serialize};
+use trident_pcm::gst::GstParameters;
+use trident_pcm::weight::{PcmMrr, WeightLut};
+use trident_photonics::ledger::EnergyLedger;
+use trident_photonics::mrr::{AddDropMrr, MrrGeometry};
+use trident_photonics::units::{EnergyPj, Nanoseconds};
+use trident_photonics::wdm::WdmGrid;
+
+/// A J×N PCM-MRR weight bank.
+///
+/// ```
+/// use trident_arch::bank::WeightBank;
+/// use trident_pcm::gst::GstParameters;
+///
+/// let mut bank = WeightBank::new(2, 2, GstParameters::default());
+/// bank.program(&[&[0.5, -0.5], &[1.0, 0.0]]).0; // optical writes
+/// let y = bank.mvm(&[1.0, 1.0]);                // optical dot products
+/// assert!((y[0] - 0.0).abs() < 0.05);
+/// assert!((y[1] - 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeightBank {
+    rows: usize,
+    cols: usize,
+    grid: WdmGrid,
+    lut: WeightLut,
+    rings: Vec<PcmMrr>,
+    /// Cached per-ring transfer `[row][ring][channel] → (drop, through)`;
+    /// refreshed only for rings whose GST state changed, so reprogramming
+    /// during training stays cheap.
+    transfer_cache: Vec<(f64, f64)>,
+    /// Cached linear drop response `[row][channel]`.
+    drop_coeff: Vec<f64>,
+    /// Cached linear through response `[row][channel]`.
+    through_coeff: Vec<f64>,
+    energy: EnergyLedger,
+    program_events: u64,
+}
+
+impl WeightBank {
+    /// Build a bank of `rows × cols` rings; column `j` of every row is
+    /// resonant on WDM channel `j`.
+    pub fn new(rows: usize, cols: usize, params: GstParameters) -> Self {
+        Self::new_varied(rows, cols, params, 0.0, 0)
+    }
+
+    /// Build a bank whose rings carry **fabrication variation**: each
+    /// ring's as-built resonance deviates from its channel by a Gaussian
+    /// offset of standard deviation `resonance_sigma_nm`. The weight LUT
+    /// is calibrated on the *nominal* design (no per-device trimming),
+    /// so deployed weights land slightly wrong — the §I mismatch between
+    /// digitally trained and physically implemented weights that
+    /// motivates unified in-situ training.
+    pub fn new_varied(
+        rows: usize,
+        cols: usize,
+        params: GstParameters,
+        resonance_sigma_nm: f64,
+        variation_seed: u64,
+    ) -> Self {
+        assert!(rows >= 1 && cols >= 1, "bank needs at least one ring");
+        assert!(resonance_sigma_nm >= 0.0, "sigma cannot be negative");
+        let grid = WdmGrid::c_band(cols);
+        let geometry = MrrGeometry::weight_bank();
+        let template = AddDropMrr::new(geometry, grid.channel(0));
+        let lut = WeightLut::build(&template, &params);
+        let mut noise = trident_photonics::noise::NoiseModel::seeded(variation_seed);
+        let mut rings = Vec::with_capacity(rows * cols);
+        for _r in 0..rows {
+            for c in 0..cols {
+                let offset = if resonance_sigma_nm > 0.0 {
+                    noise.gaussian() * resonance_sigma_nm
+                } else {
+                    0.0
+                };
+                let resonance = grid.channel(c).shifted_nm(offset);
+                rings.push(PcmMrr::new(AddDropMrr::new(geometry, resonance), params));
+            }
+        }
+        let mut bank = Self {
+            rows,
+            cols,
+            grid,
+            lut,
+            rings,
+            transfer_cache: vec![(0.0, 0.0); rows * cols * cols],
+            drop_coeff: vec![0.0; rows * cols],
+            through_coeff: vec![0.0; rows * cols],
+            energy: EnergyLedger::new(),
+            program_events: 0,
+        };
+        for r in 0..rows {
+            for k in 0..cols {
+                bank.refresh_ring_cache(r, k);
+            }
+        }
+        bank.recompute_response();
+        bank
+    }
+
+    /// Re-evaluate the physics for one ring across every channel.
+    fn refresh_ring_cache(&mut self, r: usize, k: usize) {
+        for j in 0..self.cols {
+            let t = self.ring(r, k).transfer(self.grid.channel(j));
+            self.transfer_cache[(r * self.cols + k) * self.cols + j] = (t.drop, t.through);
+        }
+    }
+
+    /// Bank rows (J).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bank columns (N).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The calibration table in use.
+    #[inline]
+    pub fn lut(&self) -> &WeightLut {
+        &self.lut
+    }
+
+    /// The channel plan.
+    #[inline]
+    pub fn grid(&self) -> &WdmGrid {
+        &self.grid
+    }
+
+    fn ring(&self, r: usize, c: usize) -> &PcmMrr {
+        &self.rings[r * self.cols + c]
+    }
+
+    /// Program the whole bank from a row-major weight matrix (`rows`
+    /// slices of `cols` weights each, entries in `[-1, 1]`). All rings
+    /// program in parallel optically, so wall-clock cost is one write time
+    /// when anything changed. Returns `(energy, time)` spent.
+    pub fn program(&mut self, weights: &[&[f64]]) -> (EnergyPj, Nanoseconds) {
+        assert_eq!(weights.len(), self.rows, "row count mismatch");
+        let mut spent = EnergyPj::ZERO;
+        for (r, row) in weights.iter().enumerate() {
+            assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
+            for (c, &w) in row.iter().enumerate() {
+                let e = self.rings[r * self.cols + c].set_weight(w, &self.lut);
+                if e.value() > 0.0 {
+                    spent += e;
+                    self.refresh_ring_cache(r, c);
+                }
+            }
+        }
+        let time = if spent.value() > 0.0 {
+            self.program_events += 1;
+            self.energy.charge("gst write", spent);
+            self.recompute_response();
+            self.rings[0].cell().params().write_time
+        } else {
+            Nanoseconds(0.0)
+        };
+        (spent, time)
+    }
+
+    /// Program from a flat matrix helper (for tensors).
+    pub fn program_flat(&mut self, weights: &[f64]) -> (EnergyPj, Nanoseconds) {
+        assert_eq!(weights.len(), self.rows * self.cols, "matrix size mismatch");
+        let rows: Vec<&[f64]> = weights.chunks(self.cols).collect();
+        self.program(&rows)
+    }
+
+    /// The weight currently programmed at `(r, c)` (quantized readback).
+    pub fn weight(&self, r: usize, c: usize) -> f64 {
+        self.ring(r, c).weight(&self.lut)
+    }
+
+    /// Recompute the linear rail response of every row from the per-ring
+    /// cache (pure multiply-adds; the transcendental physics lives in
+    /// [`Self::refresh_ring_cache`]).
+    fn recompute_response(&mut self) {
+        for r in 0..self.rows {
+            for j in 0..self.cols {
+                let mut p = 1.0; // unit input power on channel j
+                let mut dropped = 0.0;
+                for k in 0..self.cols {
+                    let (drop, through) =
+                        self.transfer_cache[(r * self.cols + k) * self.cols + j];
+                    dropped += p * drop;
+                    p *= through;
+                }
+                self.drop_coeff[r * self.cols + j] = dropped;
+                self.through_coeff[r * self.cols + j] = p;
+            }
+        }
+    }
+
+    /// Optical matrix-vector product: unit-full-scale channel powers
+    /// `x[j] ∈ [0, 1]` in, per-row **normalized dot products** out (the
+    /// balanced rail difference divided by the LUT scale).
+    ///
+    /// # Panics
+    /// Panics on width mismatch or out-of-range inputs.
+    pub fn mvm(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "input width mismatch");
+        for (j, &v) in x.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&v), "channel {j} power {v} outside [0, 1]");
+        }
+        let scale = self.lut.scale();
+        (0..self.rows)
+            .map(|r| {
+                let base = r * self.cols;
+                let mut acc = 0.0;
+                for j in 0..self.cols {
+                    acc += (self.drop_coeff[base + j] - self.through_coeff[base + j]) * x[j];
+                }
+                acc / scale
+            })
+            .collect()
+    }
+
+    /// Per-ring balanced readout coefficient for the outer-product mode:
+    /// the wavelength-demultiplexed drop−through response of ring
+    /// `(r, c)` on its own channel, including the attenuation of the other
+    /// rings on the row. Approximately `scale · w(r, c)`.
+    pub fn ring_readout(&self, r: usize, c: usize) -> f64 {
+        let lambda = self.grid.channel(c);
+        let mut upstream = 1.0;
+        for k in 0..c {
+            upstream *= self.ring(r, k).transfer(lambda).through;
+        }
+        let own = self.ring(r, c).transfer(lambda);
+        let mut downstream = 1.0;
+        for k in (c + 1)..self.cols {
+            downstream *= self.ring(r, k).transfer(lambda).through;
+        }
+        (upstream * own.drop - upstream * own.through * downstream) / self.lut.scale()
+    }
+
+    /// Total optical energy delivered to the bank's GST cells so far.
+    pub fn write_energy(&self) -> EnergyPj {
+        self.energy.total()
+    }
+
+    /// Number of programming events (parallel write cycles).
+    pub fn program_events(&self) -> u64 {
+        self.program_events
+    }
+
+    /// Total individual ring writes so far.
+    pub fn ring_writes(&self) -> u64 {
+        self.rings.iter().map(PcmMrr::write_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LSB: f64 = 2.0 / 254.0;
+
+    fn bank4() -> WeightBank {
+        WeightBank::new(4, 4, GstParameters::default())
+    }
+
+    fn program(bank: &mut WeightBank, w: &[[f64; 4]; 4]) {
+        let rows: Vec<&[f64]> = w.iter().map(|r| r.as_slice()).collect();
+        bank.program(&rows);
+    }
+
+    #[test]
+    fn identity_bank_passes_inputs() {
+        let mut b = bank4();
+        let mut w = [[0.0; 4]; 4];
+        for (i, row) in w.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        program(&mut b, &w);
+        let y = b.mvm(&[0.8, 0.1, 0.5, 0.0]);
+        for (i, &expected) in [0.8, 0.1, 0.5, 0.0].iter().enumerate() {
+            assert!(
+                (y[i] - expected).abs() < 0.03,
+                "row {i}: got {} expected {expected}",
+                y[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mvm_matches_programmed_matrix() {
+        let mut b = bank4();
+        let w = [
+            [0.5, -0.25, 0.0, 1.0],
+            [-1.0, 0.75, 0.3, -0.1],
+            [0.0, 0.0, 0.0, 0.0],
+            [0.9, 0.9, -0.9, -0.9],
+        ];
+        program(&mut b, &w);
+        let x = [1.0, 0.5, 0.25, 0.75];
+        let y = b.mvm(&x);
+        for r in 0..4 {
+            let expected: f64 = (0..4).map(|c| w[r][c] * x[c]).sum();
+            assert!(
+                (y[r] - expected).abs() < 0.05,
+                "row {r}: photonic {} vs math {expected}",
+                y[r]
+            );
+        }
+    }
+
+    #[test]
+    fn mvm_is_linear_in_input() {
+        let mut b = bank4();
+        program(&mut b, &[[0.3; 4]; 4]);
+        let y1 = b.mvm(&[0.2, 0.2, 0.2, 0.2]);
+        let y2 = b.mvm(&[0.4, 0.4, 0.4, 0.4]);
+        for r in 0..4 {
+            assert!((y2[r] - 2.0 * y1[r]).abs() < 1e-9, "power-domain optics is linear");
+        }
+    }
+
+    #[test]
+    fn dark_input_gives_zero() {
+        let mut b = bank4();
+        program(&mut b, &[[0.7; 4]; 4]);
+        let y = b.mvm(&[0.0; 4]);
+        assert!(y.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn programming_costs_energy_once() {
+        let mut b = bank4();
+        let w = [[0.5; 4]; 4];
+        program(&mut b, &w);
+        let first = b.write_energy();
+        assert!(first.value() > 0.0);
+        program(&mut b, &w);
+        assert_eq!(b.write_energy(), first, "identical reprogram is free (non-volatile)");
+        assert_eq!(b.program_events(), 1);
+    }
+
+    #[test]
+    fn weight_readback_is_quantized_program() {
+        let mut b = bank4();
+        program(&mut b, &[[0.123; 4]; 4]);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!((b.weight(r, c) - 0.123).abs() <= 0.5 * LSB + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_readout_approximates_weight() {
+        let mut b = bank4();
+        let w = [
+            [0.8, -0.5, 0.2, -1.0],
+            [0.1, 0.9, -0.3, 0.4],
+            [-0.7, 0.0, 1.0, -0.2],
+            [0.6, -0.6, 0.5, -0.5],
+        ];
+        program(&mut b, &w);
+        for r in 0..4 {
+            for c in 0..4 {
+                let readout = b.ring_readout(r, c);
+                assert!(
+                    (readout - w[r][c]).abs() < 0.06,
+                    "ring ({r},{c}): readout {readout} vs weight {}",
+                    w[r][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crosstalk_error_stays_below_quantization_scale() {
+        // A worst-case pattern: all neighbours at full weight, centre at 0.
+        let mut b = WeightBank::new(1, 16, GstParameters::default());
+        let mut w = vec![1.0; 16];
+        w[8] = 0.0;
+        b.program(&[&w]);
+        // Drive only channel 8; the row output should be ~0 despite the
+        // 15 loud neighbours.
+        let mut x = vec![0.0; 16];
+        x[8] = 1.0;
+        let y = b.mvm(&x);
+        assert!(y[0].abs() < 0.05, "crosstalk-induced output {}", y[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mvm_rejects_out_of_range_input() {
+        let b = bank4();
+        let _ = b.mvm(&[1.5, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn program_rejects_wrong_shape() {
+        let mut b = bank4();
+        let row = [0.0f64; 3];
+        let rows: Vec<&[f64]> = vec![&row; 4];
+        b.program(&rows);
+    }
+}

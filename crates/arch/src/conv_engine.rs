@@ -1,0 +1,549 @@
+//! Convolutional networks on the photonic hardware.
+//!
+//! The paper evaluates CNNs; this module runs one *functionally*. A
+//! convolution maps onto the MRR weight bank through the same im2col
+//! lowering the performance model assumes (`workload::layer::GemmView`):
+//! the filter bank `[out_c × in_c·k·k]` is programmed once, and every
+//! output position streams its receptive-field patch through the bank as
+//! one WDM vector — weight-stationary, exactly §IV's dataflow.
+//!
+//! Training follows Table II with one extension the paper leaves
+//! implicit: a convolution produces many output positions per row, so
+//! `f'(h)` is one bit *per position*, not per row. We model the LDSU
+//! with a one-bit-per-position latch FIFO spilled to the PE's L1 (64
+//! positions = 8 bytes — negligible next to the 16 kB cache), and note
+//! this as a reproduction decision in DESIGN.md.
+//!
+//! The demo topology is `conv(k×k) → GST activation → 2×2 maxpool →
+//! flatten → dense`, enough to classify the synthetic digit images
+//! end-to-end on simulated optics.
+
+use crate::pe::{ProcessingElement, LOGIT_THRESHOLD};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trident_photonics::ledger::EnergyLedger;
+use trident_photonics::units::EnergyPj;
+
+/// GST activation slope (Fig. 3).
+const SLOPE: f64 = 0.34;
+
+/// A small photonic CNN: one conv layer, GST activation, 2×2 maxpool,
+/// and a dense classifier head.
+pub struct PhotonicCnn {
+    in_h: usize,
+    in_w: usize,
+    in_c: usize,
+    kernel: usize,
+    out_c: usize,
+    classes: usize,
+    /// Conv filters, row-major `[out_c × in_c·k·k]` (master copy).
+    conv_weights: Vec<f64>,
+    /// Dense head, row-major `[classes × features]`.
+    dense_weights: Vec<f64>,
+    conv_pes: Vec<ProcessingElement>,
+    dense_pes: Vec<ProcessingElement>,
+    bank: usize,
+    weight_bits: u8,
+    // Forward caches for training.
+    cached_patches: Vec<Vec<f64>>,
+    cached_conv_logits: Vec<Vec<f64>>,
+    cached_pool_argmax: Vec<usize>,
+    cached_features: Vec<f64>,
+    extra_energy: EnergyLedger,
+}
+
+impl PhotonicCnn {
+    /// Build a CNN for `in_c × in_h × in_w` inputs: `out_c` filters of
+    /// `kernel × kernel`, stride 1, no padding, then 2×2 pool and a dense
+    /// head to `classes`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_c: usize,
+        in_h: usize,
+        in_w: usize,
+        out_c: usize,
+        kernel: usize,
+        classes: usize,
+        seed: u64,
+        weight_bits: u8,
+    ) -> Self {
+        assert!(in_h > kernel && in_w > kernel, "image too small for the kernel");
+        let bank = 16;
+        let patch = in_c * kernel * kernel;
+        assert!(patch <= bank, "receptive field must fit the bank's channels");
+        assert!(out_c <= bank, "filters must fit the bank's rows");
+        let (conv_h, conv_w) = (in_h - kernel + 1, in_w - kernel + 1);
+        let (pool_h, pool_w) = (conv_h / 2, conv_w / 2);
+        let features = out_c * pool_h * pool_w;
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv_limit = (6.0 / (patch + out_c) as f64).sqrt().min(1.0);
+        let conv_weights: Vec<f64> =
+            (0..out_c * patch).map(|_| rng.gen_range(-conv_limit..conv_limit)).collect();
+        let dense_limit = (6.0 / (features + classes) as f64).sqrt().min(1.0);
+        let dense_weights: Vec<f64> =
+            (0..classes * features).map(|_| rng.gen_range(-dense_limit..dense_limit)).collect();
+
+        let dense_rt = classes.div_ceil(bank);
+        let dense_ct = features.div_ceil(bank);
+        let mut cnn = Self {
+            in_h,
+            in_w,
+            in_c,
+            kernel,
+            out_c,
+            classes,
+            conv_weights,
+            dense_weights,
+            conv_pes: vec![ProcessingElement::new(bank, bank, None)],
+            dense_pes: (0..dense_rt * dense_ct)
+                .map(|_| ProcessingElement::new(bank, bank, None))
+                .collect(),
+            bank,
+            weight_bits,
+            cached_patches: Vec::new(),
+            cached_conv_logits: Vec::new(),
+            cached_pool_argmax: Vec::new(),
+            cached_features: Vec::new(),
+            extra_energy: EnergyLedger::new(),
+        };
+        cnn.program_all();
+        cnn
+    }
+
+    /// Convolution output spatial size.
+    pub fn conv_hw(&self) -> (usize, usize) {
+        (self.in_h - self.kernel + 1, self.in_w - self.kernel + 1)
+    }
+
+    /// Pooled feature-map spatial size.
+    pub fn pool_hw(&self) -> (usize, usize) {
+        let (h, w) = self.conv_hw();
+        (h / 2, w / 2)
+    }
+
+    /// Flattened feature count entering the dense head.
+    pub fn feature_count(&self) -> usize {
+        let (h, w) = self.pool_hw();
+        self.out_c * h * w
+    }
+
+    fn quantize(&self, w: f64) -> f64 {
+        let levels = (1u32 << self.weight_bits) - 1;
+        let step = 2.0 / (levels - 1) as f64;
+        (w.clamp(-1.0, 1.0) / step).round() * step
+    }
+
+    fn program_all(&mut self) {
+        // Conv filters into the single conv tile.
+        let patch = self.in_c * self.kernel * self.kernel;
+        let mut tile = vec![0.0; self.bank * self.bank];
+        for r in 0..self.out_c {
+            for c in 0..patch {
+                tile[r * self.bank + c] = self.conv_weights[r * patch + c];
+            }
+        }
+        self.conv_pes[0].program(&tile);
+        // Dense head tiles.
+        let features = self.feature_count();
+        let ct = features.div_ceil(self.bank);
+        for (t, pe) in self.dense_pes.iter_mut().enumerate() {
+            let (rt, ctile) = (t / ct, t % ct);
+            let mut tile = vec![0.0; self.bank * self.bank];
+            for i in 0..self.bank {
+                for j in 0..self.bank {
+                    let (gi, gj) = (rt * self.bank + i, ctile * self.bank + j);
+                    if gi < self.classes && gj < features {
+                        tile[i * self.bank + j] = self.dense_weights[gi * features + gj];
+                    }
+                }
+            }
+            pe.program(&tile);
+        }
+    }
+
+    /// Extract the im2col patch at conv output position `(oy, ox)`.
+    fn patch_at(&self, image: &[f64], oy: usize, ox: usize) -> Vec<f64> {
+        let mut p = Vec::with_capacity(self.in_c * self.kernel * self.kernel);
+        for c in 0..self.in_c {
+            for ky in 0..self.kernel {
+                for kx in 0..self.kernel {
+                    p.push(image[(c * self.in_h + oy + ky) * self.in_w + ox + kx]);
+                }
+            }
+        }
+        p
+    }
+
+    /// Forward one image (`in_c·in_h·in_w` values in `[0, 1]`). Returns
+    /// class logits. Caches everything the backward pass needs.
+    pub fn forward(&mut self, image: &[f64]) -> Vec<f64> {
+        assert_eq!(image.len(), self.in_c * self.in_h * self.in_w, "image size mismatch");
+        let (conv_h, conv_w) = self.conv_hw();
+        let patch_len = self.in_c * self.kernel * self.kernel;
+        self.cached_patches.clear();
+        self.cached_conv_logits.clear();
+
+        // Conv: stream every patch through the filter bank, fire the GST
+        // activation per position (per-position f' bits cached to L1).
+        let mut activ = vec![0.0; self.out_c * conv_h * conv_w];
+        for oy in 0..conv_h {
+            for ox in 0..conv_w {
+                let mut patch = self.patch_at(image, oy, ox);
+                patch.resize(self.bank, 0.0);
+                let scale = patch.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-12);
+                let normalized: Vec<f64> = patch.iter().map(|&v| v / scale).collect();
+                let h = self.conv_pes[0].mvm_unsigned(&normalized);
+                let logits: Vec<f64> =
+                    h.iter().take(self.out_c).map(|&v| v * scale).collect();
+                let fired = self.conv_pes[0].latch_and_activate(&logits);
+                for (f, &y) in fired.iter().enumerate() {
+                    activ[(f * conv_h + oy) * conv_w + ox] = y;
+                }
+                self.cached_patches.push(patch[..patch_len].to_vec());
+                self.cached_conv_logits.push(logits);
+                // One bit per row per position spilled to L1.
+                self.extra_energy
+                    .charge("ldsu fifo", EnergyPj(0.01 * self.out_c as f64));
+            }
+        }
+
+        // 2×2 max pool with argmax routing cached.
+        let (pool_h, pool_w) = self.pool_hw();
+        let mut features = vec![0.0; self.feature_count()];
+        self.cached_pool_argmax = vec![0; self.feature_count()];
+        for f in 0..self.out_c {
+            for py in 0..pool_h {
+                for px in 0..pool_w {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx =
+                                (f * conv_h + 2 * py + dy) * conv_w + 2 * px + dx;
+                            if activ[idx] > best {
+                                best = activ[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let out_idx = (f * pool_h + py) * pool_w + px;
+                    features[out_idx] = best;
+                    self.cached_pool_argmax[out_idx] = best_idx;
+                }
+            }
+        }
+        self.cached_features = features.clone();
+
+        // Dense head.
+        let feature_total = self.feature_count();
+        let ct = feature_total.div_ceil(self.bank);
+        let scale = features.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-12);
+        let mut logits = vec![0.0; self.classes];
+        for (t, pe) in self.dense_pes.iter_mut().enumerate() {
+            let (rt, ctile) = (t / ct, t % ct);
+            let mut slice = vec![0.0; self.bank];
+            for j in 0..self.bank {
+                let src = ctile * self.bank + j;
+                if src < feature_total {
+                    slice[j] = features[src] / scale;
+                }
+            }
+            let partial = pe.mvm_unsigned(&slice);
+            for (i, &p) in partial.iter().enumerate() {
+                let row = rt * self.bank + i;
+                if row < self.classes {
+                    logits[row] += p * scale;
+                }
+            }
+        }
+        logits
+    }
+
+    /// Predicted class.
+    pub fn predict(&mut self, image: &[f64]) -> usize {
+        let logits = self.forward(image);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// Accuracy over a labelled set.
+    pub fn accuracy(&mut self, images: &[Vec<f64>], labels: &[usize]) -> f64 {
+        let mut correct = 0;
+        for (x, &l) in images.iter().zip(labels) {
+            if self.predict(x) == l {
+                correct += 1;
+            }
+        }
+        correct as f64 / labels.len() as f64
+    }
+
+    /// One in-situ training step. The dense gradients use the Table II
+    /// outer-product mode; the conv gradient accumulates per-position
+    /// outer products of the pooled-and-routed error with the cached
+    /// patches.
+    pub fn train_sample(&mut self, image: &[f64], label: usize, lr: f64) -> f64 {
+        let logits = self.forward(image);
+        // Softmax cross-entropy gradient (electronic, as in the paper).
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        let probs: Vec<f64> = exps.iter().map(|&e| e / sum).collect();
+        let loss = -probs[label].max(1e-12).ln();
+        let delta_out: Vec<f64> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i == label { p - 1.0 } else { p })
+            .collect();
+
+        // Dense outer product: δW = δ ⊗ features (photonic, tile-wise).
+        let features = self.cached_features.clone();
+        let feature_total = self.feature_count();
+        let ct = feature_total.div_ceil(self.bank);
+        let f_scale = features.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+        let mut dense_grad = vec![0.0; self.classes * feature_total];
+        for (t, pe) in self.dense_pes.iter_mut().enumerate() {
+            let (rt, ctile) = (t / ct, t % ct);
+            let dh_lo = rt * self.bank;
+            let dh_hi = (dh_lo + self.bank).min(self.classes);
+            if dh_lo >= self.classes {
+                continue;
+            }
+            let y_lo = ctile * self.bank;
+            let y_hi = (y_lo + self.bank).min(feature_total);
+            let y_slice: Vec<f64> =
+                features[y_lo..y_hi].iter().map(|&v| v / f_scale).collect();
+            let products = pe.outer_product(&delta_out[dh_lo..dh_hi], &y_slice);
+            for (i, row) in products.iter().enumerate() {
+                for (j, &p) in row.iter().enumerate() {
+                    dense_grad[(dh_lo + i) * feature_total + (y_lo + j)] = p * f_scale;
+                }
+            }
+        }
+
+        // Gradient into the pooled features: δ_feat = Wᵀ δ (photonic
+        // signed MVM over transposed dense tiles).
+        let mut delta_feat = vec![0.0; feature_total];
+        {
+            // Program the transposed head, run, restore.
+            let rt_t = feature_total.div_ceil(self.bank);
+            let ct_t = self.classes.div_ceil(self.bank);
+            // Reuse the dense PE pool (same count: rt·ct == rt_t·ct_t may
+            // differ; guard by reprogramming only as many tiles as fit).
+            for t in 0..(rt_t * ct_t).min(self.dense_pes.len()) {
+                let (r, c) = (t / ct_t, t % ct_t);
+                let mut tile = vec![0.0; self.bank * self.bank];
+                for i in 0..self.bank {
+                    for j in 0..self.bank {
+                        let (gi, gj) = (r * self.bank + i, c * self.bank + j);
+                        if gi < feature_total && gj < self.classes {
+                            tile[i * self.bank + j] =
+                                self.dense_weights[gj * feature_total + gi];
+                        }
+                    }
+                }
+                self.dense_pes[t].program(&tile);
+                let mut slice = vec![0.0; self.bank];
+                for j in 0..self.bank {
+                    let src = c * self.bank + j;
+                    if src < self.classes {
+                        slice[j] = delta_out[src];
+                    }
+                }
+                let partial = self.dense_pes[t].mvm_signed(&slice);
+                for (i, &p) in partial.iter().enumerate() {
+                    let row = r * self.bank + i;
+                    if row < feature_total {
+                        delta_feat[row] += p;
+                    }
+                }
+            }
+        }
+
+        // Unpool: route each feature's error to its argmax position, then
+        // apply the per-position latched derivative.
+        let (conv_h, conv_w) = self.conv_hw();
+        let patch_len = self.in_c * self.kernel * self.kernel;
+        let mut conv_grad = vec![0.0; self.out_c * patch_len];
+        for (out_idx, &src_idx) in self.cached_pool_argmax.iter().enumerate() {
+            let d = delta_feat[out_idx];
+            if d == 0.0 {
+                continue;
+            }
+            // src_idx = (f·conv_h + oy)·conv_w + ox
+            let ox = src_idx % conv_w;
+            let oy = (src_idx / conv_w) % conv_h;
+            let f = src_idx / (conv_h * conv_w);
+            let pos = oy * conv_w + ox;
+            let h = self.cached_conv_logits[pos][f];
+            let fprime = if h >= LOGIT_THRESHOLD { SLOPE } else { 0.0 };
+            if fprime == 0.0 {
+                continue;
+            }
+            let delta_h = d * fprime;
+            // Per-position outer product row: δW_conv[f] += δh · patch.
+            let patch = self.cached_patches[pos].clone();
+            let p_scale =
+                patch.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+            let y_slice: Vec<f64> = patch.iter().map(|&v| v / p_scale).collect();
+            let products = self.conv_pes[0].outer_product(&[delta_h], &y_slice);
+            for (j, &p) in products[0].iter().enumerate() {
+                conv_grad[f * patch_len + j] += p * p_scale;
+            }
+        }
+
+        // Eq. 1 updates + reprogram.
+        for (w, &g) in self.dense_weights.iter_mut().zip(&dense_grad) {
+            *w = (*w - lr * g).clamp(-1.0, 1.0);
+        }
+        for (w, &g) in self.conv_weights.iter_mut().zip(&conv_grad) {
+            *w = (*w - lr * g).clamp(-1.0, 1.0);
+        }
+        let dense_q: Vec<f64> = self.dense_weights.iter().map(|&w| self.quantize(w)).collect();
+        let conv_q: Vec<f64> = self.conv_weights.iter().map(|&w| self.quantize(w)).collect();
+        self.dense_weights = dense_q;
+        self.conv_weights = conv_q;
+        self.program_all();
+        loss
+    }
+
+    /// Train over a dataset; returns per-epoch mean losses.
+    pub fn train(
+        &mut self,
+        images: &[Vec<f64>],
+        labels: &[usize],
+        lr: f64,
+        epochs: usize,
+    ) -> Vec<f64> {
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for (x, &l) in images.iter().zip(labels) {
+                total += self.train_sample(x, l, lr);
+            }
+            history.push(total / images.len() as f64);
+        }
+        history
+    }
+
+    /// Total optical energy spent so far.
+    pub fn total_energy(&self) -> EnergyPj {
+        let pe: EnergyPj = self
+            .conv_pes
+            .iter()
+            .chain(&self.dense_pes)
+            .map(|p| p.energy().total())
+            .sum();
+        pe + self.extra_energy.total()
+    }
+
+    /// Conv filter weights (master copy, for verification).
+    pub fn conv_weights(&self) -> &[f64] {
+        &self.conv_weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_nn::data::synthetic_digits;
+
+    fn digit_images(per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let data = synthetic_digits(per_class, 0.05, 13);
+        let xs = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .collect();
+        (xs, data.labels)
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let cnn = PhotonicCnn::new(1, 8, 8, 6, 3, 10, 1, 8);
+        assert_eq!(cnn.conv_hw(), (6, 6));
+        assert_eq!(cnn.pool_hw(), (3, 3));
+        assert_eq!(cnn.feature_count(), 54);
+    }
+
+    #[test]
+    fn forward_matches_float_reference() {
+        let mut cnn = PhotonicCnn::new(1, 8, 8, 4, 3, 10, 2, 8);
+        let (xs, _) = digit_images(1);
+        let image = &xs[0];
+        let logits = cnn.forward(image);
+        assert_eq!(logits.len(), 10);
+
+        // Float mirror of the same pipeline.
+        let patch_len = 9;
+        let (conv_h, conv_w) = cnn.conv_hw();
+        let mut activ = vec![0.0; 4 * conv_h * conv_w];
+        for oy in 0..conv_h {
+            for ox in 0..conv_w {
+                for f in 0..4 {
+                    let mut h = 0.0;
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            h += cnn.conv_weights()[f * patch_len + ky * 3 + kx]
+                                * image[(oy + ky) * 8 + ox + kx];
+                        }
+                    }
+                    let y = if h >= LOGIT_THRESHOLD { SLOPE * (h - LOGIT_THRESHOLD) } else { 0.0 };
+                    activ[(f * conv_h + oy) * conv_w + ox] = y;
+                }
+            }
+        }
+        let (pool_h, pool_w) = cnn.pool_hw();
+        let mut features = vec![0.0; cnn.feature_count()];
+        for f in 0..4 {
+            for py in 0..pool_h {
+                for px in 0..pool_w {
+                    let mut best = f64::NEG_INFINITY;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            best = best.max(
+                                activ[(f * conv_h + 2 * py + dy) * conv_w + 2 * px + dx],
+                            );
+                        }
+                    }
+                    features[(f * pool_h + py) * pool_w + px] = best;
+                }
+            }
+        }
+        let ft = cnn.feature_count();
+        for class in 0..10 {
+            let exact: f64 =
+                (0..ft).map(|j| cnn.dense_weights[class * ft + j] * features[j]).sum();
+            // 54 analog accumulations (quantization + crosstalk per
+            // feature) widen the budget relative to the MLP tests.
+            assert!(
+                (logits[class] - exact).abs() < 0.2,
+                "class {class}: photonic {} vs float {exact}",
+                logits[class]
+            );
+        }
+    }
+
+    #[test]
+    fn cnn_trains_on_digits() {
+        let (xs, labels) = digit_images(3);
+        let mut cnn = PhotonicCnn::new(1, 8, 8, 6, 3, 10, 5, 8);
+        let history = cnn.train(&xs, &labels, 0.1, 10);
+        assert!(
+            history.last().unwrap() < history.first().unwrap(),
+            "conv training loss should fall: {history:?}"
+        );
+        let acc = cnn.accuracy(&xs, &labels);
+        assert!(acc > 0.5, "photonic CNN accuracy {acc}");
+        assert!(cnn.total_energy().value() > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_receptive_field_rejected() {
+        // 3 channels × 3×3 = 27 > 16 channels.
+        let _ = PhotonicCnn::new(3, 8, 8, 4, 3, 10, 1, 8);
+    }
+}

@@ -1,0 +1,910 @@
+//! The photonic MLP engine: whole networks on simulated Trident hardware.
+//!
+//! One PE is allocated per 16×16 weight tile (the paper assigns "one PE to
+//! each layer" for networks that fit; tiling generalises that to arbitrary
+//! layer sizes). Inference keeps weights stationary; training follows the
+//! paper's per-sample schedule:
+//!
+//! 1. **forward** — per layer: optical MVM tiles, electronic partial-sum
+//!    accumulation across column tiles, LDSU latch, GST activation.
+//! 2. **gradient vectors** (Table II mode 2) — banks reprogrammed with
+//!    `Wᵀ`, signed MVM of the upstream error, Hadamard with the latched
+//!    `f'(h)` via programmed TIA gains.
+//! 3. **outer products** (Table II mode 3) — banks programmed with the
+//!    cached layer inputs, per-ring demux readout of `δW`.
+//! 4. **update** (Eq. 1) — `W ← W − β·δW`, clipped to the photonic range,
+//!    quantized to the tuning method's bit resolution, and programmed back
+//!    into the forward banks.
+//!
+//! Every optical programming event and symbol is charged to the energy
+//! ledgers, so the training demos report honest device-level costs.
+
+use crate::pe::{ProcessingElement, LOGIT_THRESHOLD};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trident_photonics::ledger::EnergyLedger;
+use trident_photonics::units::{EnergyPj, Nanoseconds};
+
+/// Activation slope of the GST cell (Fig. 3).
+const GST_SLOPE: f64 = 0.34;
+
+/// A dense network running on simulated photonic hardware.
+pub struct PhotonicMlp {
+    dims: Vec<usize>,
+    /// Master (electronic) weight copies, row-major `[out × in]` per layer.
+    weights: Vec<Vec<f64>>,
+    /// One PE per (layer, row-tile, col-tile).
+    pes: Vec<Vec<ProcessingElement>>,
+    bank_rows: usize,
+    bank_cols: usize,
+    /// Weight resolution in bits (8 for GST; 6 emulates thermal banks).
+    weight_bits: u8,
+    /// Cached per-layer inputs (`y_{k-1}`) from the latest forward pass.
+    cached_inputs: Vec<Vec<f64>>,
+    /// Cached per-layer logits (`h_k`) from the latest forward pass.
+    cached_logits: Vec<Vec<f64>>,
+    /// Engine-level (non-PE) energy: partial-sum accumulation etc.
+    extra_energy: EnergyLedger,
+    elapsed: Nanoseconds,
+}
+
+/// Result of an in-situ training run.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// Mean loss per epoch.
+    pub loss_history: Vec<f64>,
+    /// Final accuracy on the evaluation set.
+    pub final_accuracy: f64,
+    /// Total optical + electronic energy charged.
+    pub total_energy: EnergyPj,
+    /// GST programming energy alone.
+    pub programming_energy: EnergyPj,
+    /// Simulated wall-clock time.
+    pub elapsed: Nanoseconds,
+}
+
+/// Construction options for [`PhotonicMlp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineOptions {
+    /// Weight-bank rows per PE.
+    pub bank_rows: usize,
+    /// Weight-bank columns per PE.
+    pub bank_cols: usize,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+    /// Receiver-noise seed (`None` = ideal detectors).
+    pub noise_seed: Option<u64>,
+    /// Weight resolution in bits.
+    pub weight_bits: u8,
+    /// Fabrication variation: per-ring Gaussian resonance offset σ (nm).
+    pub resonance_sigma_nm: f64,
+    /// Seed for the fabrication-variation draw (a chip identity).
+    pub variation_seed: u64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            bank_rows: 16,
+            bank_cols: 16,
+            seed: 0,
+            noise_seed: None,
+            weight_bits: 8,
+            resonance_sigma_nm: 0.0,
+            variation_seed: 0,
+        }
+    }
+}
+
+impl PhotonicMlp {
+    /// Build a photonic MLP with layer widths `dims` (e.g. `[64, 16, 10]`)
+    /// on `bank_rows × bank_cols` PEs, Xavier-initialised from `seed`.
+    /// `noise_seed` enables receiver noise; `weight_bits` sets the
+    /// quantization the tuning technology supports.
+    pub fn new(
+        dims: &[usize],
+        bank_rows: usize,
+        bank_cols: usize,
+        seed: u64,
+        noise_seed: Option<u64>,
+        weight_bits: u8,
+    ) -> Self {
+        Self::with_options(
+            dims,
+            EngineOptions { bank_rows, bank_cols, seed, noise_seed, weight_bits, ..Default::default() },
+        )
+    }
+
+    /// Build with full [`EngineOptions`] (fabrication variation etc.).
+    pub fn with_options(dims: &[usize], opts: EngineOptions) -> Self {
+        let EngineOptions {
+            bank_rows,
+            bank_cols,
+            seed,
+            noise_seed,
+            weight_bits,
+            resonance_sigma_nm,
+            variation_seed,
+        } = opts;
+        assert!(dims.len() >= 2, "need at least input and output widths");
+        assert!((2..=8).contains(&weight_bits), "weight bits must be 2..=8");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::new();
+        for k in 1..dims.len() {
+            let (out, inp) = (dims[k], dims[k - 1]);
+            let limit = (6.0 / (out + inp) as f64).sqrt().min(1.0);
+            weights.push((0..out * inp).map(|_| rng.gen_range(-limit..limit)).collect());
+        }
+        let mut engine = Self {
+            dims: dims.to_vec(),
+            weights,
+            pes: Vec::new(),
+            bank_rows,
+            bank_cols,
+            weight_bits,
+            cached_inputs: Vec::new(),
+            cached_logits: Vec::new(),
+            extra_energy: EnergyLedger::new(),
+            elapsed: Nanoseconds(0.0),
+        };
+        for k in 0..engine.layer_count() {
+            let (rt, ct) = engine.tile_grid(k);
+            let mut layer_pes = Vec::with_capacity(rt * ct);
+            for t in 0..rt * ct {
+                let seed = noise_seed.map(|s| s.wrapping_add((k * 1000 + t) as u64));
+                layer_pes.push(ProcessingElement::with_variation(
+                    bank_rows,
+                    bank_cols,
+                    seed,
+                    resonance_sigma_nm,
+                    variation_seed.wrapping_add((k * 1000 + t) as u64),
+                ));
+            }
+            engine.pes.push(layer_pes);
+        }
+        engine.program_forward_weights();
+        engine
+    }
+
+    /// Number of weight layers.
+    pub fn layer_count(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Layer `k`'s weight matrix dimensions `(out, in)`.
+    pub fn layer_dims(&self, k: usize) -> (usize, usize) {
+        (self.dims[k + 1], self.dims[k])
+    }
+
+    /// Tile grid `(row_tiles, col_tiles)` of layer `k`.
+    fn tile_grid(&self, k: usize) -> (usize, usize) {
+        let (out, inp) = self.layer_dims(k);
+        (out.div_ceil(self.bank_rows), inp.div_ceil(self.bank_cols))
+    }
+
+    /// Total PEs allocated.
+    pub fn pe_count(&self) -> usize {
+        self.pes.iter().map(Vec::len).sum()
+    }
+
+    /// Direct access to layer `k`'s master weights (for equivalence tests).
+    pub fn layer_weights(&self, k: usize) -> &[f64] {
+        &self.weights[k]
+    }
+
+    /// Overwrite layer `k`'s master weights and reprogram the banks.
+    pub fn set_layer_weights(&mut self, k: usize, w: &[f64]) {
+        let (out, inp) = self.layer_dims(k);
+        assert_eq!(w.len(), out * inp, "weight size mismatch for layer {k}");
+        self.weights[k] = w.iter().map(|&v| self.quantize(v)).collect();
+        self.program_layer_forward(k);
+    }
+
+    fn quantize(&self, w: f64) -> f64 {
+        let levels = (1u32 << self.weight_bits) - 1;
+        let step = 2.0 / (levels - 1) as f64;
+        (w.clamp(-1.0, 1.0) / step).round() * step
+    }
+
+    /// Extract the `bank_rows × bank_cols` tile `(rt, ct)` of `matrix`
+    /// (`out × in` row-major), zero-padded at the edges. `transpose`
+    /// extracts from the transposed matrix instead.
+    fn tile_of(
+        &self,
+        matrix: &[f64],
+        out: usize,
+        inp: usize,
+        rt: usize,
+        ct: usize,
+        transpose: bool,
+    ) -> Vec<f64> {
+        let mut tile = vec![0.0; self.bank_rows * self.bank_cols];
+        for r in 0..self.bank_rows {
+            for c in 0..self.bank_cols {
+                let (i, j) = (rt * self.bank_rows + r, ct * self.bank_cols + c);
+                let v = if transpose {
+                    // element (i, j) of Wᵀ = element (j, i) of W
+                    if i < inp && j < out {
+                        matrix[j * inp + i]
+                    } else {
+                        0.0
+                    }
+                } else if i < out && j < inp {
+                    matrix[i * inp + j]
+                } else {
+                    0.0
+                };
+                tile[r * self.bank_cols + c] = v;
+            }
+        }
+        tile
+    }
+
+    fn program_layer_forward(&mut self, k: usize) {
+        let (out, inp) = self.layer_dims(k);
+        let (_, ct) = self.tile_grid(k);
+        let weights = self.weights[k].clone();
+        let (rt, _) = self.tile_grid(k);
+        for r in 0..rt {
+            for c in 0..ct {
+                let tile = self.tile_of(&weights, out, inp, r, c, false);
+                self.pes[k][r * ct + c].program(&tile);
+            }
+        }
+    }
+
+    fn program_forward_weights(&mut self) {
+        for k in 0..self.layer_count() {
+            self.program_layer_forward(k);
+        }
+    }
+
+    fn program_layer_transposed(&mut self, k: usize) {
+        let (out, inp) = self.layer_dims(k);
+        let weights = self.weights[k].clone();
+        // Wᵀ is inp × out: its tile grid.
+        let rt = inp.div_ceil(self.bank_rows);
+        let ct = out.div_ceil(self.bank_cols);
+        for r in 0..rt {
+            for c in 0..ct {
+                let tile = self.tile_of(&weights, out, inp, r, c, true);
+                self.pes[k][r * ct + c].program(&tile);
+            }
+        }
+    }
+
+    /// Forward one sample photonically. Input entries must lie in `[0, 1]`
+    /// (image-like data). Returns the output logits.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dims[0], "input width mismatch");
+        self.cached_inputs.clear();
+        self.cached_logits.clear();
+        let mut y: Vec<f64> = x.to_vec();
+        let layer_count = self.layer_count();
+        for k in 0..layer_count {
+            self.cached_inputs.push(y.clone());
+            let (out, inp) = self.layer_dims(k);
+            let (rt_n, ct_n) = self.tile_grid(k);
+            // Normalize activations onto the lasers (electronic AGC).
+            let scale = y.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+            let mut h = vec![0.0; out];
+            for r in 0..rt_n {
+                for c in 0..ct_n {
+                    let mut slice = vec![0.0; self.bank_cols];
+                    for j in 0..self.bank_cols {
+                        let src = c * self.bank_cols + j;
+                        if src < inp {
+                            slice[j] = (y[src] / scale).max(0.0);
+                        }
+                    }
+                    let partial = self.pes[k][r * ct_n + c].mvm_unsigned(&slice);
+                    for (i, &p) in partial.iter().enumerate() {
+                        let row = r * self.bank_rows + i;
+                        if row < out {
+                            h[row] += p * scale;
+                            if c > 0 {
+                                self.extra_energy.charge("psum accumulate", EnergyPj(0.1));
+                            }
+                        }
+                    }
+                }
+            }
+            self.cached_logits.push(h.clone());
+            if k + 1 == layer_count {
+                y = h; // output layer: identity (read by the loss)
+            } else {
+                // Activation rows live on the (rt, 0) PEs.
+                let mut act = vec![0.0; out];
+                for r in 0..rt_n {
+                    let lo = r * self.bank_rows;
+                    let hi = (lo + self.bank_rows).min(out);
+                    let slice = &h[lo..hi];
+                    let fired = self.pes[k][r * ct_n].latch_and_activate(slice);
+                    act[lo..hi].copy_from_slice(&fired);
+                }
+                y = act;
+            }
+        }
+        y
+    }
+
+    /// Predicted class for one sample.
+    pub fn predict(&mut self, x: &[f64]) -> usize {
+        let logits = self.forward(x);
+        logits
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    }
+
+    /// Accuracy over a set of samples.
+    pub fn accuracy(&mut self, xs: &[Vec<f64>], labels: &[usize]) -> f64 {
+        let mut correct = 0;
+        for (x, &label) in xs.iter().zip(labels) {
+            if self.predict(x) == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / labels.len() as f64
+    }
+
+    /// One in-situ training step on a single sample (the paper's
+    /// alternating forward/backward schedule). Returns the sample loss.
+    pub fn train_sample(&mut self, x: &[f64], label: usize, learning_rate: f64) -> f64 {
+        let logits = self.forward(x);
+        let (loss, mut delta) = softmax_grad(&logits, label);
+        let layer_count = self.layer_count();
+
+        // Walk backward: compute all gradient vectors and outer products.
+        let mut weight_grads: Vec<Vec<f64>> = Vec::with_capacity(layer_count);
+        for k in (0..layer_count).rev() {
+            // Outer product for layer k: δW_k = δh_k ⊗ y_{k-1}.
+            weight_grads.push(self.outer_product_layer(k, &delta));
+            if k > 0 {
+                // Gradient vector for layer k−1: δh = (W_kᵀ δh_k) ⊙ f'(h).
+                delta = self.gradient_vector_layer(k, &delta);
+            }
+        }
+        weight_grads.reverse();
+        self.apply_weight_grads(&weight_grads, learning_rate);
+        loss
+    }
+
+    /// One training step where each *hidden* layer's error arrives from a
+    /// caller-supplied projection of the output error (Direct Feedback
+    /// Alignment — see [`crate::dfa`]), instead of chained `Wᵀ` products.
+    /// The projection `project(k, e)` must return `B_k · e` for hidden
+    /// layer `k`; the Hadamard with the latched `f'(h_k)` happens here on
+    /// the layer's own TIAs.
+    pub fn train_sample_with_feedback(
+        &mut self,
+        x: &[f64],
+        label: usize,
+        learning_rate: f64,
+        project: &mut dyn FnMut(usize, &[f64]) -> Vec<f64>,
+    ) -> f64 {
+        let logits = self.forward(x);
+        let (loss, error) = softmax_grad(&logits, label);
+        let layer_count = self.layer_count();
+        let mut weight_grads: Vec<Vec<f64>> = Vec::with_capacity(layer_count);
+        for k in 0..layer_count {
+            let delta = if k + 1 == layer_count {
+                error.clone()
+            } else {
+                let projected = project(k, &error);
+                self.hadamard_with_latched_derivatives(k, &projected)
+            };
+            weight_grads.push(self.outer_product_layer(k, &delta));
+        }
+        self.apply_weight_grads(&weight_grads, learning_rate);
+        loss
+    }
+
+    /// Mini-batch training: one weight update per `batch_size` samples,
+    /// amortizing the bank-retuning sweeps the way the Table V model
+    /// assumes. Per batch this schedule programs `Wᵀ` once per layer
+    /// (instead of once per sample) and reprograms the forward weights
+    /// once; the per-sample `f'(h)` bits are spilled to the PE's L1 (the
+    /// same one-bit-per-position FIFO the convolutional engine uses), and
+    /// the per-sample `y` outer-product programming remains — it cannot
+    /// amortize because every sample's activations differ.
+    pub fn train_batched(
+        &mut self,
+        xs: &[Vec<f64>],
+        labels: &[usize],
+        learning_rate: f64,
+        epochs: usize,
+        batch_size: usize,
+    ) -> TrainingOutcome {
+        assert_eq!(xs.len(), labels.len());
+        assert!(batch_size >= 1);
+        let layer_count = self.layer_count();
+        let (threshold, slope) = self.activation();
+        let mut loss_history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut epoch_loss = 0.0;
+            for batch in xs.chunks(batch_size).zip(labels.chunks(batch_size)) {
+                let (bx, bl) = batch;
+                // Forward every sample with stationary weights; cache the
+                // per-sample logits (the spilled LDSU bits) and inputs.
+                let mut sample_deltas = Vec::with_capacity(bx.len());
+                let mut sample_logits = Vec::with_capacity(bx.len());
+                let mut sample_inputs = Vec::with_capacity(bx.len());
+                for (x, &label) in bx.iter().zip(bl) {
+                    let logits = self.forward(x);
+                    let (loss, delta) = softmax_grad(&logits, label);
+                    epoch_loss += loss;
+                    sample_deltas.push(vec![delta]);
+                    sample_logits.push(self.cached_logits.clone());
+                    sample_inputs.push(self.cached_inputs.clone());
+                }
+                // Backward, layer by layer: program Wᵀ once, sweep the
+                // whole batch through it, restore once.
+                let mut grads: Vec<Vec<f64>> = (0..layer_count)
+                    .map(|k| {
+                        let (out, inp) = self.layer_dims(k);
+                        vec![0.0; out * inp]
+                    })
+                    .collect();
+                for k in (0..layer_count).rev() {
+                    // Outer products for layer k, per sample.
+                    for s in 0..bx.len() {
+                        let delta = sample_deltas[s].last().unwrap().clone();
+                        // Point the outer product at this sample's input.
+                        self.cached_inputs = sample_inputs[s].clone();
+                        let g = self.outer_product_layer(k, &delta);
+                        for (acc, v) in grads[k].iter_mut().zip(&g) {
+                            *acc += v / bx.len() as f64;
+                        }
+                    }
+                    if k > 0 {
+                        self.program_layer_transposed(k);
+                        for s in 0..bx.len() {
+                            let delta = sample_deltas[s].last().unwrap().clone();
+                            let v = self.transposed_mvm(k, &delta);
+                            // Hadamard with the spilled f'(h_{k-1}) bits.
+                            let h = &sample_logits[s][k - 1];
+                            let next: Vec<f64> = v
+                                .iter()
+                                .zip(h)
+                                .map(|(&vi, &hi)| {
+                                    if hi >= threshold {
+                                        vi * slope
+                                    } else {
+                                        0.0
+                                    }
+                                })
+                                .collect();
+                            sample_deltas[s].push(next);
+                        }
+                        self.program_layer_forward(k);
+                    }
+                }
+                self.apply_weight_grads(&grads, learning_rate);
+            }
+            loss_history.push(epoch_loss / xs.len() as f64);
+        }
+        let final_accuracy = self.accuracy(xs, labels);
+        TrainingOutcome {
+            loss_history,
+            final_accuracy,
+            total_energy: self.total_energy(),
+            programming_energy: self.programming_energy(),
+            elapsed: self.total_elapsed(),
+        }
+    }
+
+    /// Signed MVM through layer `k`'s banks assuming they currently hold
+    /// `W_kᵀ` (batched backward helper).
+    fn transposed_mvm(&mut self, k: usize, delta: &[f64]) -> Vec<f64> {
+        let (out, inp) = self.layer_dims(k);
+        assert_eq!(delta.len(), out);
+        let rt = inp.div_ceil(self.bank_rows);
+        let ct = out.div_ceil(self.bank_cols);
+        let mut v = vec![0.0; inp];
+        for r in 0..rt {
+            for c in 0..ct {
+                let mut slice = vec![0.0; self.bank_cols];
+                for j in 0..self.bank_cols {
+                    let src = c * self.bank_cols + j;
+                    if src < out {
+                        slice[j] = delta[src];
+                    }
+                }
+                let partial = self.pes[k][r * ct + c].mvm_signed(&slice);
+                for (i, &p) in partial.iter().enumerate() {
+                    let row = r * self.bank_rows + i;
+                    if row < inp {
+                        v[row] += p;
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Eq. 1: `W ← W − β δW`, clipped to the photonic range, quantized to
+    /// the tuning grid, and programmed back into the forward banks.
+    fn apply_weight_grads(&mut self, weight_grads: &[Vec<f64>], learning_rate: f64) {
+        for k in 0..self.layer_count() {
+            let grads = &weight_grads[k];
+            for (w, &g) in self.weights[k].iter_mut().zip(grads) {
+                *w = (*w - learning_rate * g).clamp(-1.0, 1.0);
+            }
+            let quantized: Vec<f64> =
+                self.weights[k].iter().map(|&w| self.quantize(w)).collect();
+            self.weights[k] = quantized;
+            self.program_layer_forward(k);
+        }
+    }
+
+    /// Multiply a per-row vector by `f'(h_k)` stored in layer `k`'s LDSUs
+    /// (the TIA-gain Hadamard of Eq. 3).
+    fn hadamard_with_latched_derivatives(&mut self, k: usize, v: &[f64]) -> Vec<f64> {
+        let (out, _) = self.layer_dims(k);
+        assert_eq!(v.len(), out, "vector width mismatch for layer {k}");
+        let (_, ct) = self.tile_grid(k);
+        let mut result = vec![0.0; out];
+        for r in 0..out.div_ceil(self.bank_rows) {
+            let lo = r * self.bank_rows;
+            let hi = (lo + self.bank_rows).min(out);
+            let pe = &mut self.pes[k][r * ct];
+            pe.set_backward_gains();
+            let gained = pe.apply_tia_gains(&v[lo..hi]);
+            result[lo..hi].copy_from_slice(&gained);
+            pe.set_forward_gains();
+        }
+        result
+    }
+
+    /// Table II gradient-vector mode for layer `k`: program `W_kᵀ`, run a
+    /// signed MVM of `delta`, apply the latched `f'(h_{k-1})` of the
+    /// *previous* layer via its TIA gains.
+    fn gradient_vector_layer(&mut self, k: usize, delta: &[f64]) -> Vec<f64> {
+        let (out, inp) = self.layer_dims(k);
+        assert_eq!(delta.len(), out);
+        self.program_layer_transposed(k);
+        let rt = inp.div_ceil(self.bank_rows);
+        let ct = out.div_ceil(self.bank_cols);
+        let mut v = vec![0.0; inp];
+        for r in 0..rt {
+            for c in 0..ct {
+                let mut slice = vec![0.0; self.bank_cols];
+                for j in 0..self.bank_cols {
+                    let src = c * self.bank_cols + j;
+                    if src < out {
+                        slice[j] = delta[src];
+                    }
+                }
+                let partial = self.pes[k][r * ct + c].mvm_signed(&slice);
+                for (i, &p) in partial.iter().enumerate() {
+                    let row = r * self.bank_rows + i;
+                    if row < inp {
+                        v[row] += p;
+                        if c > 0 {
+                            self.extra_energy.charge("psum accumulate", EnergyPj(0.1));
+                        }
+                    }
+                }
+            }
+        }
+        // Restore the forward weights for the next forward pass.
+        self.program_layer_forward(k);
+        // Hadamard with f'(h_{k-1}) from the previous layer's LDSUs.
+        let (prev_out, _) = self.layer_dims(k - 1);
+        assert_eq!(prev_out, inp);
+        self.hadamard_with_latched_derivatives(k - 1, &v)
+    }
+
+    /// Table II outer-product mode for layer `k`: `δW = δh ⊗ y_{k-1}`,
+    /// tile by tile, returned row-major.
+    fn outer_product_layer(&mut self, k: usize, delta: &[f64]) -> Vec<f64> {
+        let (out, inp) = self.layer_dims(k);
+        assert_eq!(delta.len(), out);
+        let y = self.cached_inputs[k].clone();
+        // y enters the bank as weights; normalize into [-1, 1].
+        let y_scale = y.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-12);
+        let (rt_n, ct_n) = self.tile_grid(k);
+        let mut grad = vec![0.0; out * inp];
+        for r in 0..rt_n {
+            let dh_lo = r * self.bank_rows;
+            let dh_hi = (dh_lo + self.bank_rows).min(out);
+            let dh_slice = &delta[dh_lo..dh_hi];
+            for c in 0..ct_n {
+                let y_lo = c * self.bank_cols;
+                let y_hi = (y_lo + self.bank_cols).min(inp);
+                let y_slice: Vec<f64> = y[y_lo..y_hi].iter().map(|&v| v / y_scale).collect();
+                let products = self.pes[k][r * ct_n + c].outer_product(dh_slice, &y_slice);
+                for (i, row) in products.iter().enumerate() {
+                    for (j, &p) in row.iter().enumerate() {
+                        grad[(dh_lo + i) * inp + (y_lo + j)] = p * y_scale;
+                    }
+                }
+            }
+        }
+        grad
+    }
+
+    /// Train for `epochs` over a dataset, evaluating on the same set.
+    pub fn train(
+        &mut self,
+        xs: &[Vec<f64>],
+        labels: &[usize],
+        learning_rate: f64,
+        epochs: usize,
+    ) -> TrainingOutcome {
+        assert_eq!(xs.len(), labels.len());
+        let mut loss_history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut total = 0.0;
+            for (x, &label) in xs.iter().zip(labels) {
+                total += self.train_sample(x, label, learning_rate);
+            }
+            loss_history.push(total / xs.len() as f64);
+        }
+        let final_accuracy = self.accuracy(xs, labels);
+        TrainingOutcome {
+            loss_history,
+            final_accuracy,
+            total_energy: self.total_energy(),
+            programming_energy: self.programming_energy(),
+            elapsed: self.total_elapsed(),
+        }
+    }
+
+    /// Aggregate energy across all PEs and engine-level charges.
+    pub fn total_energy(&self) -> EnergyPj {
+        let pe_energy: EnergyPj =
+            self.pes.iter().flatten().map(|pe| pe.energy().total()).sum();
+        pe_energy + self.extra_energy.total()
+    }
+
+    /// GST programming energy alone.
+    pub fn programming_energy(&self) -> EnergyPj {
+        self.pes.iter().flatten().map(|pe| pe.energy().get("gst write")).sum()
+    }
+
+    /// Full merged energy ledger.
+    pub fn energy_ledger(&self) -> EnergyLedger {
+        let mut ledger = self.extra_energy.clone();
+        for pe in self.pes.iter().flatten() {
+            ledger.absorb(pe.energy());
+        }
+        ledger
+    }
+
+    /// Simulated time across PEs (sequential-tile upper bound).
+    pub fn total_elapsed(&self) -> Nanoseconds {
+        self.pes.iter().flatten().map(ProcessingElement::elapsed).sum::<Nanoseconds>()
+            + self.elapsed
+    }
+
+    /// The activation function the hardware applies between layers.
+    pub fn activation(&self) -> (f64, f64) {
+        (LOGIT_THRESHOLD, GST_SLOPE)
+    }
+}
+
+/// Softmax cross-entropy loss and gradient for one sample (f64).
+fn softmax_grad(logits: &[f64], label: usize) -> (f64, Vec<f64>) {
+    assert!(label < logits.len(), "label out of range");
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    let probs: Vec<f64> = exps.iter().map(|&e| e / sum).collect();
+    let loss = -probs[label].max(1e-12).ln();
+    let grad = probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| if i == label { p - 1.0 } else { p })
+        .collect();
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_forward(engine: &PhotonicMlp, x: &[f64]) -> Vec<f64> {
+        // Float-math mirror of the photonic forward pass.
+        let mut y: Vec<f64> = x.to_vec();
+        let (threshold, slope) = engine.activation();
+        for k in 0..engine.layer_count() {
+            let (out, inp) = engine.layer_dims(k);
+            let w = engine.layer_weights(k);
+            let mut h = vec![0.0; out];
+            for i in 0..out {
+                for j in 0..inp {
+                    h[i] += w[i * inp + j] * y[j];
+                }
+            }
+            if k + 1 == engine.layer_count() {
+                y = h;
+            } else {
+                y = h
+                    .iter()
+                    .map(|&v| if v >= threshold { slope * (v - threshold) } else { 0.0 })
+                    .collect();
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn photonic_forward_matches_float_reference() {
+        let mut engine = PhotonicMlp::new(&[8, 6, 3], 16, 16, 42, None, 8);
+        let x: Vec<f64> = (0..8).map(|i| (i as f64) / 8.0).collect();
+        let photonic = engine.forward(&x);
+        let reference = reference_forward(&engine, &x);
+        for (r, (&p, &f)) in photonic.iter().zip(&reference).enumerate() {
+            assert!(
+                (p - f).abs() < 0.05,
+                "output {r}: photonic {p} vs reference {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_layer_matches_reference() {
+        // 40 inputs forces column tiling (3 tiles of 16).
+        let mut engine = PhotonicMlp::new(&[40, 20, 4], 16, 16, 7, None, 8);
+        assert!(engine.pe_count() > 3 * 2, "tiling must allocate PEs");
+        let x: Vec<f64> = (0..40).map(|i| ((i * 7) % 10) as f64 / 10.0).collect();
+        let photonic = engine.forward(&x);
+        let reference = reference_forward(&engine, &x);
+        for (r, (&p, &f)) in photonic.iter().zip(&reference).enumerate() {
+            assert!(
+                (p - f).abs() < 0.1,
+                "output {r}: photonic {p} vs reference {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_vector_mode_matches_math() {
+        let mut engine = PhotonicMlp::new(&[6, 5, 3], 16, 16, 3, None, 8);
+        let x = [0.2, 0.9, 0.4, 0.1, 0.7, 0.5];
+        engine.forward(&x);
+        let delta = vec![0.3, -0.7, 0.2];
+        let photonic = engine.gradient_vector_layer(1, &delta);
+        // Math: (W1ᵀ δ) ⊙ f'(h0).
+        let (out, inp) = engine.layer_dims(1);
+        let w = engine.layer_weights(1).to_vec();
+        let h0 = engine.cached_logits[0].clone();
+        let (threshold, slope) = engine.activation();
+        for j in 0..inp {
+            let mut v = 0.0;
+            for i in 0..out {
+                v += w[i * inp + j] * delta[i];
+            }
+            let fprime = if h0[j] >= threshold { slope } else { 0.0 };
+            let want = v * fprime;
+            assert!(
+                (photonic[j] - want).abs() < 0.05,
+                "grad[{j}]: photonic {} vs math {want}",
+                photonic[j]
+            );
+        }
+    }
+
+    #[test]
+    fn outer_product_mode_matches_math() {
+        let mut engine = PhotonicMlp::new(&[5, 4, 2], 16, 16, 5, None, 8);
+        let x = [0.8, 0.1, 0.6, 0.3, 0.9];
+        engine.forward(&x);
+        let delta = vec![0.5, -1.0];
+        let grad = engine.outer_product_layer(1, &delta);
+        let y = engine.cached_inputs[1].clone();
+        let (out, inp) = engine.layer_dims(1);
+        assert_eq!(grad.len(), out * inp);
+        for i in 0..out {
+            for j in 0..inp {
+                let want = delta[i] * y[j];
+                let got = grad[i * inp + j];
+                assert!(
+                    (got - want).abs() < 0.05 + 0.05 * want.abs(),
+                    "δW[{i}][{j}]: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_insitu() {
+        let mut engine = PhotonicMlp::new(&[8, 8, 3], 16, 16, 11, None, 8);
+        // Three linearly separable prototype inputs.
+        let xs: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        ];
+        let labels = vec![0, 1, 2];
+        let outcome = engine.train(&xs, &labels, 0.4, 25);
+        let first = outcome.loss_history.first().copied().unwrap();
+        let last = outcome.loss_history.last().copied().unwrap();
+        assert!(last < first, "loss should fall: {first} → {last}");
+        assert!(
+            outcome.final_accuracy >= 2.0 / 3.0,
+            "accuracy {}",
+            outcome.final_accuracy
+        );
+        assert!(outcome.programming_energy.value() > 0.0);
+        assert!(outcome.total_energy.value() > outcome.programming_energy.value());
+    }
+
+    #[test]
+    fn weight_updates_are_quantized_and_clipped() {
+        let mut engine = PhotonicMlp::new(&[4, 3, 2], 16, 16, 2, None, 6);
+        let xs = vec![vec![1.0, 0.0, 1.0, 0.0]];
+        let labels = vec![0];
+        engine.train(&xs, &labels, 10.0, 3); // huge lr to force clipping
+        let step = 2.0 / ((1u32 << 6) - 2) as f64;
+        for k in 0..engine.layer_count() {
+            for &w in engine.layer_weights(k) {
+                assert!((-1.0..=1.0).contains(&w), "weight {w} escaped [-1, 1]");
+                let level = w / step;
+                assert!(
+                    (level - level.round()).abs() < 1e-6,
+                    "weight {w} not on the 6-bit grid"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_layer_weights_round_trips() {
+        let mut engine = PhotonicMlp::new(&[3, 2, 2], 16, 16, 1, None, 8);
+        let w = vec![0.5, -0.5, 0.25, -0.25, 0.75, -0.75];
+        engine.set_layer_weights(0, &w);
+        for (got, want) in engine.layer_weights(0).iter().zip(&w) {
+            assert!((got - want).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn batched_training_learns_with_less_programming() {
+        let xs: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        ];
+        let labels = vec![0usize, 1, 2, 0];
+
+        let mut per_sample = PhotonicMlp::new(&[8, 8, 3], 16, 16, 11, None, 8);
+        let per_sample_outcome = per_sample.train(&xs, &labels, 0.4, 12);
+
+        let mut batched = PhotonicMlp::new(&[8, 8, 3], 16, 16, 11, None, 8);
+        let batched_outcome = batched.train_batched(&xs, &labels, 0.4, 12, 4);
+
+        assert!(
+            batched_outcome.loss_history.last().unwrap()
+                < batched_outcome.loss_history.first().unwrap(),
+            "batched loss should fall: {:?}",
+            batched_outcome.loss_history
+        );
+        // Batched retuning is amortized: same epochs, fewer write pulses.
+        assert!(
+            batched_outcome.programming_energy.value()
+                < per_sample_outcome.programming_energy.value(),
+            "batched {} pJ should undercut per-sample {} pJ",
+            batched_outcome.programming_energy.value(),
+            per_sample_outcome.programming_energy.value()
+        );
+    }
+
+    #[test]
+    fn energy_grows_with_work() {
+        let mut engine = PhotonicMlp::new(&[8, 6, 3], 16, 16, 9, None, 8);
+        let after_init = engine.total_energy();
+        let x: Vec<f64> = vec![0.5; 8];
+        engine.forward(&x);
+        let after_forward = engine.total_energy();
+        assert!(after_forward.value() > after_init.value());
+        engine.train_sample(&x, 1, 0.1);
+        assert!(engine.total_energy().value() > after_forward.value());
+        assert!(engine.total_elapsed().value() > 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fabrication-variation study — the paper's §I motivation for unified
+//! training and inference, made measurable.
+//!
+//! > "digital models used at the time of training cannot capture all the
+//! > manufacturing imperfections and variations of the physical hardware.
+//! > The resulting mismatch between trained and implemented weights leads
+//! > to sub-optimal accuracy at inference time."
+//!
+//! The experiment: train a network on *ideal* hardware (a stand-in for
+//! digital training), deploy its weights onto chips whose rings carry
+//! Gaussian resonance offsets, measure the accuracy drop, then fine-tune
+//! *in-situ on the same imperfect chip* and measure the recovery. Trials
+//! across chip identities run in parallel with Rayon.
+
+use crate::engine::{EngineOptions, PhotonicMlp};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Result at one variation magnitude.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationRow {
+    /// Per-ring resonance offset σ in nanometres.
+    pub sigma_nm: f64,
+    /// Accuracy of ideally trained weights evaluated on ideal hardware.
+    pub ideal_accuracy: f64,
+    /// Mean accuracy of the same weights deployed on varied chips.
+    pub deployed_accuracy: f64,
+    /// Mean accuracy after in-situ fine-tuning on each varied chip.
+    pub finetuned_accuracy: f64,
+    /// Chips simulated.
+    pub trials: usize,
+}
+
+impl VariationRow {
+    /// Accuracy lost to deployment mismatch.
+    pub fn deployment_drop(&self) -> f64 {
+        self.ideal_accuracy - self.deployed_accuracy
+    }
+
+    /// Fraction of the drop recovered by in-situ fine-tuning
+    /// (0 when nothing was lost).
+    pub fn recovery(&self) -> f64 {
+        let drop = self.deployment_drop();
+        if drop <= 1e-9 {
+            return 1.0;
+        }
+        ((self.finetuned_accuracy - self.deployed_accuracy) / drop).clamp(0.0, 1.0)
+    }
+}
+
+/// Configuration of the study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationStudy {
+    /// Network layer widths.
+    pub dims: Vec<usize>,
+    /// Training epochs on the ideal chip.
+    pub pretrain_epochs: usize,
+    /// Fine-tuning epochs on each varied chip.
+    pub finetune_epochs: usize,
+    /// Learning rate for both phases.
+    pub learning_rate: f64,
+    /// Chips per sigma point.
+    pub trials: usize,
+}
+
+impl Default for VariationStudy {
+    fn default() -> Self {
+        Self {
+            dims: vec![64, 16, 10],
+            pretrain_epochs: 12,
+            finetune_epochs: 6,
+            learning_rate: 0.1,
+            trials: 3,
+        }
+    }
+}
+
+impl VariationStudy {
+    /// Run the study over the given sigma points on a labelled dataset.
+    pub fn run(
+        &self,
+        sigmas_nm: &[f64],
+        xs: &[Vec<f64>],
+        labels: &[usize],
+    ) -> Vec<VariationRow> {
+        // Phase 1: "digital" training on ideal hardware.
+        let mut ideal = PhotonicMlp::with_options(
+            &self.dims,
+            EngineOptions { seed: 11, ..Default::default() },
+        );
+        ideal.train(xs, labels, self.learning_rate, self.pretrain_epochs);
+        let ideal_accuracy = ideal.accuracy(xs, labels);
+        let trained: Vec<Vec<f64>> =
+            (0..ideal.layer_count()).map(|k| ideal.layer_weights(k).to_vec()).collect();
+
+        // Phase 2+3: deploy and fine-tune on varied chips, in parallel
+        // across sigma points and chip identities.
+        sigmas_nm
+            .par_iter()
+            .map(|&sigma_nm| {
+                let (deployed_sum, finetuned_sum) = (0..self.trials)
+                    .into_par_iter()
+                    .map(|trial| {
+                        let mut chip = PhotonicMlp::with_options(
+                            &self.dims,
+                            EngineOptions {
+                                seed: 11,
+                                resonance_sigma_nm: sigma_nm,
+                                variation_seed: 1000 + trial as u64,
+                                ..Default::default()
+                            },
+                        );
+                        for (k, w) in trained.iter().enumerate() {
+                            chip.set_layer_weights(k, w);
+                        }
+                        let deployed = chip.accuracy(xs, labels);
+                        chip.train(xs, labels, self.learning_rate, self.finetune_epochs);
+                        let finetuned = chip.accuracy(xs, labels);
+                        (deployed, finetuned)
+                    })
+                    .reduce(|| (0.0, 0.0), |a, b| (a.0 + b.0, a.1 + b.1));
+                VariationRow {
+                    sigma_nm,
+                    ideal_accuracy,
+                    deployed_accuracy: deployed_sum / self.trials as f64,
+                    finetuned_accuracy: finetuned_sum / self.trials as f64,
+                    trials: self.trials,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_nn::data::synthetic_digits;
+
+    fn digit_data(per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let data = synthetic_digits(per_class, 0.05, 99);
+        let xs = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .collect();
+        (xs, data.labels)
+    }
+
+    #[test]
+    fn zero_variation_deploys_losslessly() {
+        let (xs, labels) = digit_data(2);
+        let study = VariationStudy {
+            pretrain_epochs: 8,
+            finetune_epochs: 2,
+            trials: 1,
+            ..Default::default()
+        };
+        let rows = study.run(&[0.0], &xs, &labels);
+        let r = &rows[0];
+        assert!(
+            (r.deployed_accuracy - r.ideal_accuracy).abs() < 0.11,
+            "σ=0 deployment should be near-lossless: ideal {} vs deployed {}",
+            r.ideal_accuracy,
+            r.deployed_accuracy
+        );
+    }
+
+    #[test]
+    fn variation_degrades_and_finetuning_recovers() {
+        let (xs, labels) = digit_data(3);
+        let study = VariationStudy {
+            pretrain_epochs: 10,
+            finetune_epochs: 6,
+            trials: 2,
+            ..Default::default()
+        };
+        // A fifth of the 0.2 nm linewidth: enough to hurt, not enough to
+        // kill the optics outright (at ~half a linewidth the rings detune
+        // so far that no amount of reprogramming recovers — also physical,
+        // and covered by the sweep binary).
+        let rows = study.run(&[0.04], &xs, &labels);
+        let r = &rows[0];
+        assert!(r.ideal_accuracy > 0.7, "pretraining should work: {}", r.ideal_accuracy);
+        assert!(
+            r.deployment_drop() > 0.1,
+            "variation should hurt deployed accuracy: ideal {} deployed {}",
+            r.ideal_accuracy,
+            r.deployed_accuracy
+        );
+        assert!(
+            r.finetuned_accuracy > r.deployed_accuracy + 0.05,
+            "in-situ fine-tuning should recover accuracy: {} -> {}",
+            r.deployed_accuracy,
+            r.finetuned_accuracy
+        );
+    }
+
+    #[test]
+    fn larger_variation_hurts_more() {
+        let (xs, labels) = digit_data(2);
+        let study = VariationStudy {
+            pretrain_epochs: 8,
+            finetune_epochs: 0,
+            trials: 2,
+            ..Default::default()
+        };
+        let rows = study.run(&[0.02, 0.15], &xs, &labels);
+        assert!(
+            rows[0].deployed_accuracy >= rows[1].deployed_accuracy - 0.05,
+            "σ=0.02 ({}) should deploy no worse than σ=0.15 ({})",
+            rows[0].deployed_accuracy,
+            rows[1].deployed_accuracy
+        );
+    }
+}

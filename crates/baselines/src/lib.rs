@@ -1,0 +1,25 @@
+//! # trident-baselines
+//!
+//! The six comparator accelerators of the paper's evaluation.
+//!
+//! * [`photonic`] — DEAP-CNN \[2\], CrossLight \[31\] and PIXEL \[30\], modelled
+//!   as parameter variants of the same per-device analytical framework the
+//!   Trident model uses ("We apply the same device parameters in
+//!   Table III to DEAP-CNN, CrossLight, PIXEL, and Trident and scale all
+//!   four architectures to meet a 30 W power consumption threshold").
+//! * [`electronic`] — NVIDIA AGX Xavier, Bearkey TB96-AI and Google Coral,
+//!   as roofline models anchored on their published TOPS / power / memory
+//!   bandwidth (Table IV is vendor data).
+//! * [`traits`] — the common [`traits::AcceleratorModel`] interface the
+//!   experiment runners iterate over.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod electronic;
+pub mod photonic;
+pub mod traits;
+
+pub use electronic::{all_electronic, bearkey_tb96, google_coral, nvidia_agx_xavier, ElectronicAccelerator};
+pub use photonic::{all_photonic, crosslight, deap_cnn, pixel, trident_photonic, PhotonicAccelerator};
+pub use traits::AcceleratorModel;

@@ -1,0 +1,69 @@
+//! The common accelerator interface the experiment runners iterate over.
+
+use trident_workload::model::ModelSpec;
+
+/// A device (photonic or electronic) that can run CNN inference, viewed
+/// through the metrics the paper compares: throughput, energy, TOPS/W,
+/// and training capability.
+pub trait AcceleratorModel {
+    /// Display name as used in the paper's tables/figures.
+    fn name(&self) -> &str;
+
+    /// Peak arithmetic throughput in TOPS (2 ops per MAC).
+    fn peak_tops(&self) -> f64;
+
+    /// Board/chip power draw in watts.
+    fn power_w(&self) -> f64;
+
+    /// Whether the device can train (Table IV's last column).
+    fn supports_training(&self) -> bool;
+
+    /// Steady-state inference throughput for a model.
+    fn inferences_per_second(&self, model: &ModelSpec) -> f64;
+
+    /// Energy per inference in millijoules. The default assumes the
+    /// device runs at its rated power while inferring (how edge boards
+    /// are measured); photonic models override with their per-device
+    /// roll-up.
+    fn energy_per_inference_mj(&self, model: &ModelSpec) -> f64 {
+        self.power_w() * 1e3 / self.inferences_per_second(model)
+    }
+
+    /// Peak TOPS per Watt (Table IV's headline metric).
+    fn tops_per_watt(&self) -> f64 {
+        self.peak_tops() / self.power_w()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_workload::zoo;
+
+    struct Fake;
+    impl AcceleratorModel for Fake {
+        fn name(&self) -> &str {
+            "fake"
+        }
+        fn peak_tops(&self) -> f64 {
+            10.0
+        }
+        fn power_w(&self) -> f64 {
+            5.0
+        }
+        fn supports_training(&self) -> bool {
+            false
+        }
+        fn inferences_per_second(&self, _: &ModelSpec) -> f64 {
+            100.0
+        }
+    }
+
+    #[test]
+    fn default_energy_is_power_over_rate() {
+        let f = Fake;
+        let m = zoo::alexnet();
+        assert!((f.energy_per_inference_mj(&m) - 50.0).abs() < 1e-9);
+        assert!((f.tops_per_watt() - 2.0).abs() < 1e-12);
+    }
+}

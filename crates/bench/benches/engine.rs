@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the functional engine: photonic forward
+//! passes, in-situ training steps, and the PE operating modes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use trident::arch::engine::PhotonicMlp;
+use trident::arch::pe::ProcessingElement;
+
+fn pe_modes(c: &mut Criterion) {
+    let weights: Vec<f64> = (0..256).map(|i| ((i % 17) as f64 / 8.5) - 1.0).collect();
+    c.bench_function("pe_mvm_unsigned_16x16", |b| {
+        let mut pe = ProcessingElement::new(16, 16, None);
+        pe.program(&weights);
+        let x: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
+        b.iter(|| black_box(pe.mvm_unsigned(black_box(&x))))
+    });
+    c.bench_function("pe_mvm_signed_16x16", |b| {
+        let mut pe = ProcessingElement::new(16, 16, None);
+        pe.program(&weights);
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) / 8.0).collect();
+        b.iter(|| black_box(pe.mvm_signed(black_box(&x))))
+    });
+    c.bench_function("pe_outer_product_16x16", |b| {
+        let mut pe = ProcessingElement::new(16, 16, None);
+        let dh: Vec<f64> = (0..16).map(|i| (i as f64 - 8.0) / 8.0).collect();
+        let y: Vec<f64> = (0..16).map(|i| i as f64 / 16.0).collect();
+        b.iter(|| black_box(pe.outer_product(black_box(&dh), black_box(&y))))
+    });
+    c.bench_function("pe_latch_and_activate", |b| {
+        let mut pe = ProcessingElement::new(16, 16, None);
+        let h: Vec<f64> = (0..16).map(|i| (i as f64 - 4.0) / 4.0).collect();
+        b.iter(|| black_box(pe.latch_and_activate(black_box(&h))))
+    });
+}
+
+fn engine_passes(c: &mut Criterion) {
+    c.bench_function("mlp_forward_64_16_10", |b| {
+        let mut engine = PhotonicMlp::new(&[64, 16, 10], 16, 16, 1, None, 8);
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 / 7.0).collect();
+        b.iter(|| black_box(engine.forward(black_box(&x))))
+    });
+    c.bench_function("mlp_train_sample_64_16_10", |b| {
+        let mut engine = PhotonicMlp::new(&[64, 16, 10], 16, 16, 1, None, 8);
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 / 7.0).collect();
+        b.iter(|| black_box(engine.train_sample(black_box(&x), 3, 0.05)))
+    });
+}
+
+fn conv_engine(c: &mut Criterion) {
+    use trident::arch::conv_engine::PhotonicCnn;
+    c.bench_function("cnn_forward_8x8_digit", |b| {
+        let mut cnn = PhotonicCnn::new(1, 8, 8, 6, 3, 10, 1, 8);
+        let image: Vec<f64> = (0..64).map(|i| ((i * 5) % 9) as f64 / 9.0).collect();
+        b.iter(|| black_box(cnn.forward(black_box(&image))))
+    });
+}
+
+criterion_group!(benches, pe_modes, engine_passes, conv_engine);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks of the photonic device substrate: ring
+//! transfer evaluation, weight-LUT calibration, bank programming, and the
+//! cached optical matrix-vector product — the hot paths of the functional
+//! simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use trident::arch::bank::WeightBank;
+use trident::pcm::gst::GstParameters;
+use trident::pcm::weight::WeightLut;
+use trident::photonics::mrr::{AddDropMrr, MrrGeometry};
+use trident::photonics::units::Wavelength;
+
+fn ring_transfer(c: &mut Criterion) {
+    let ring = AddDropMrr::new(MrrGeometry::weight_bank(), Wavelength::from_nm(1550.0));
+    c.bench_function("mrr_transfer_on_resonance", |b| {
+        b.iter(|| black_box(ring.transfer_on_resonance(black_box(0.9))))
+    });
+    c.bench_function("mrr_transfer_detuned", |b| {
+        let lambda = Wavelength::from_nm(1551.6);
+        b.iter(|| black_box(ring.transfer(black_box(lambda), black_box(0.9))))
+    });
+}
+
+fn lut_calibration(c: &mut Criterion) {
+    let ring = AddDropMrr::new(MrrGeometry::weight_bank(), Wavelength::from_nm(1550.0));
+    let params = GstParameters::default();
+    c.bench_function("weight_lut_build_255_levels", |b| {
+        b.iter(|| black_box(WeightLut::build(black_box(&ring), black_box(&params))))
+    });
+    let lut = WeightLut::build(&ring, &params);
+    c.bench_function("weight_lut_lookup", |b| {
+        let mut w = -1.0;
+        b.iter(|| {
+            w += 0.001;
+            if w > 1.0 {
+                w = -1.0;
+            }
+            black_box(lut.level_for(black_box(w)))
+        })
+    });
+}
+
+fn bank_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_bank");
+    for &size in &[4usize, 8, 16] {
+        let weights: Vec<f64> =
+            (0..size * size).map(|i| ((i % 21) as f64 / 10.5) - 1.0).collect();
+        group.bench_with_input(BenchmarkId::new("program", size), &size, |b, &s| {
+            let mut bank = WeightBank::new(s, s, GstParameters::default());
+            let mut toggle = false;
+            b.iter(|| {
+                // Alternate two patterns so every iteration actually writes.
+                toggle = !toggle;
+                let w: Vec<f64> = weights
+                    .iter()
+                    .map(|&v| if toggle { v } else { -v })
+                    .collect();
+                black_box(bank.program_flat(&w))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mvm", size), &size, |b, &s| {
+            let mut bank = WeightBank::new(s, s, GstParameters::default());
+            bank.program_flat(&weights);
+            let x: Vec<f64> = (0..s).map(|i| (i as f64) / s as f64).collect();
+            b.iter(|| black_box(bank.mvm(black_box(&x))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ring_transfer, lut_calibration, bank_ops);
+criterion_main!(benches);

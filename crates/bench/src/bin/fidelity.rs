@@ -1,0 +1,18 @@
+//! Monte-Carlo analog fidelity of the MVM path: measured effective bits
+//! for several bank sizes, with and without receiver noise.
+use trident::arch::fidelity::measure;
+
+fn main() {
+    println!("== Analog MVM fidelity (Monte-Carlo, 48 trials each) ==");
+    println!("{:>6} {:>7} {:>12} {:>12} {:>10}", "bank", "noise", "rms err", "max err", "ENOB");
+    for &(rows, cols) in &[(4usize, 4usize), (8, 8), (16, 16)] {
+        for &noise in &[false, true] {
+            let r = measure(rows, cols, 48, noise, 2024);
+            println!(
+                "{:>3}x{:<3} {:>7} {:>12.5} {:>12.5} {:>10.2}",
+                rows, cols, if noise { "on" } else { "off" }, r.rms_error, r.max_error, r.effective_bits
+            );
+        }
+    }
+    println!("\nWeight resolution is exactly 8 bits; the dot product pays ~half a bit\nof crosstalk at 16 channels. Compare photonics::link for the budget view.");
+}

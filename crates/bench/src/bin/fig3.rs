@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig3 data. See `trident::experiments::fig3`.
+fn main() {
+    print!("{}", trident::experiments::fig3::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig4 data. See `trident::experiments::fig4`.
+fn main() {
+    print!("{}", trident::experiments::fig4::render());
+}

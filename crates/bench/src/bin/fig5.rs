@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig5 data. See `trident::experiments::fig5`.
+fn main() {
+    print!("{}", trident::experiments::fig5::render());
+}

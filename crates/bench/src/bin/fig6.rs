@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 data. See `trident::experiments::fig6`.
+fn main() {
+    print!("{}", trident::experiments::fig6::render());
+}

@@ -1,0 +1,26 @@
+//! Prints every table and figure of the paper in order, plus the
+//! ablations — the one-shot reproduction entry point.
+use trident::experiments as ex;
+
+fn main() {
+    println!("Trident reproduction: all paper artifacts\n");
+    for section in [
+        ex::table1::render(),
+        ex::table2::render(),
+        ex::table3::render(),
+        ex::table4::render(),
+        ex::table5::render(),
+        ex::fig3::render(),
+        ex::fig4::render(),
+        ex::fig5::render(),
+        ex::fig6::render(),
+        ex::ablations::tuning::render(),
+        ex::ablations::adc::render(),
+        ex::ablations::scale::render(),
+        ex::ablations::bits::render(4, 8),
+        ex::ablations::dfa_vs_bp::render(3, 8),
+        ex::ablations::variation::render(3, 2),
+    ] {
+        println!("{section}");
+    }
+}

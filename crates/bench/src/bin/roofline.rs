@@ -1,0 +1,26 @@
+//! Roofline view: arithmetic intensity of each evaluation CNN and which
+//! side of every electronic accelerator's ridge it falls on.
+use trident::baselines::electronic::all_electronic;
+use trident::baselines::traits::AcceleratorModel;
+use trident::workload::zoo;
+
+fn main() {
+    println!("== Arithmetic intensity and roofline position ==\n");
+    for model in zoo::paper_models() {
+        println!(
+            "{}: {:.2} GMACs, intensity {:.1} MAC/byte",
+            model.name,
+            model.total_macs() as f64 / 1e9,
+            model.arithmetic_intensity()
+        );
+        for accel in all_electronic() {
+            let rate = accel.inferences_per_second(&model);
+            let roofline = accel.roofline_inferences_per_second(&model);
+            println!(
+                "  {:<18} measured {:>7.0} inf/s   roofline {:>7.0} inf/s",
+                accel.name(), rate, roofline
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,15 @@
+//! Device-characterization sweep: through/drop spectra of the weight-bank
+//! ring at several GST states, CSV on stdout.
+use trident::photonics::mrr::{AddDropMrr, MrrGeometry};
+use trident::photonics::spectrum::sweep;
+use trident::photonics::units::Wavelength;
+
+fn main() {
+    let ring = AddDropMrr::new(MrrGeometry::weight_bank(), Wavelength::from_nm(1550.0));
+    println!("wavelength_nm,state,through,drop");
+    for (label, amplitude) in [("amorphous", 0.995), ("mid", 0.6), ("crystalline", 0.25)] {
+        for p in sweep(&ring, 1546.0, 1554.0, 401, amplitude) {
+            println!("{:.3},{label},{:.6},{:.6}", p.wavelength_nm, p.through, p.drop);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 data. See `trident::experiments::table1`.
+fn main() {
+    print!("{}", trident::experiments::table1::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 data. See `trident::experiments::table2`.
+fn main() {
+    print!("{}", trident::experiments::table2::render());
+}

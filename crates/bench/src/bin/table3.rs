@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 data. See `trident::experiments::table3`.
+fn main() {
+    print!("{}", trident::experiments::table3::render());
+}

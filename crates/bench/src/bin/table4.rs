@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 data. See `trident::experiments::table4`.
+fn main() {
+    print!("{}", trident::experiments::table4::render());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 data. See `trident::experiments::table5`.
+fn main() {
+    print!("{}", trident::experiments::table5::render());
+}

@@ -1,0 +1,181 @@
+//! `trident_sim` — the one-stop CLI over the reproduction's analysis
+//! tooling.
+//!
+//! ```text
+//! trident_sim analyze  <model>            per-layer energy/latency on Trident
+//! trident_sim deploy   <model>            deployment plan (tiles, residency)
+//! trident_sim pipeline <model> [batch]    pipelined execution schedule
+//! trident_sim compare  <model>            all seven accelerators on one model
+//! trident_sim endurance <model>           GST wear budget for a deployment
+//! trident_sim gate                        the reproduction gate (CI)
+//! ```
+//!
+//! Models: alexnet, vgg16, googlenet, mobilenetv2, resnet50, lenet5.
+
+use trident::arch::config::TridentConfig;
+use trident::arch::endurance::{budget, UsageProfile};
+use trident::arch::mapper;
+use trident::arch::perf::TridentPerfModel;
+use trident::arch::pipeline;
+use trident::baselines::electronic::all_electronic;
+use trident::baselines::photonic::all_photonic;
+use trident::baselines::traits::AcceleratorModel;
+use trident::workload::model::ModelSpec;
+use trident::workload::zoo;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trident_sim <analyze|deploy|pipeline|compare|endurance|gate> [model] [batch]\n\
+         models: alexnet vgg16 googlenet mobilenetv2 resnet50 lenet5"
+    );
+    std::process::exit(2);
+}
+
+fn model_arg(arg: Option<String>) -> ModelSpec {
+    let Some(name) = arg else { usage() };
+    match zoo::by_name(&name) {
+        Some(m) => m,
+        None => {
+            eprintln!("unknown model {name:?}");
+            usage()
+        }
+    }
+}
+
+fn analyze(model: &ModelSpec) {
+    let perf = TridentPerfModel::paper();
+    let a = perf.analyze(model);
+    println!(
+        "{}: {:.3} ms/inference ({:.0} inf/s), {:.3} mJ/inference",
+        model.name,
+        a.latency().millis(),
+        a.inferences_per_second(),
+        a.energy_mj()
+    );
+    println!("{:<22} {:>12} {:>12}", "layer", "latency (us)", "energy (uJ)");
+    for l in &a.layers {
+        println!(
+            "{:<22} {:>12.2} {:>12.2}",
+            l.name,
+            l.latency.micros(),
+            l.energy().value() / 1e6
+        );
+    }
+}
+
+fn deploy(model: &ModelSpec) {
+    let plan = mapper::plan(&TridentConfig::paper(), model);
+    println!(
+        "{}: {} tiles over {} slots — {}",
+        plan.model_name,
+        plan.total_tiles,
+        plan.tile_slots,
+        if plan.fully_resident() {
+            "fully weight-resident (pre-program once, infer forever)"
+        } else {
+            "tile-swapped (weights stream through the array)"
+        }
+    );
+    println!(
+        "full programming: {:.2} uJ in {:.2} us; peak activation {} kB; \
+         {:.0}% of layers cache-contained",
+        plan.full_program_energy.value() / 1e6,
+        plan.full_program_time.micros(),
+        plan.peak_activation_bytes / 1024,
+        plan.cache_contained_fraction() * 100.0
+    );
+    for l in plan.layers.iter().take(8) {
+        println!(
+            "  {:<22} {:>7} tiles  resident={:<5} residency={:?}",
+            l.name, l.tiles, l.weights_resident, l.residency
+        );
+    }
+    if plan.layers.len() > 8 {
+        println!("  … {} more layers", plan.layers.len() - 8);
+    }
+}
+
+fn pipeline_cmd(model: &ModelSpec, batch: usize) {
+    let report = pipeline::simulate(&TridentPerfModel::paper(), model, batch);
+    println!(
+        "{} × {} images: makespan {:.3} ms, first-image latency {:.3} ms",
+        report.model_name,
+        report.batch,
+        report.makespan.millis(),
+        report.first_image_latency.millis()
+    );
+    println!(
+        "steady-state {:.0} img/s (bottleneck: {}), effective {:.0} img/s, \
+         speedup vs sequential {:.2}x",
+        report.throughput(),
+        report.stages[report.bottleneck].name,
+        report.effective_throughput(),
+        report.speedup_vs_sequential()
+    );
+}
+
+fn compare(model: &ModelSpec) {
+    println!(
+        "{}: {:.2} GMACs, {:.1}M params",
+        model.name,
+        model.total_macs() as f64 / 1e9,
+        model.total_params() as f64 / 1e6
+    );
+    for a in all_electronic() {
+        println!(
+            "  {:<18} {:>9.0} inf/s  {:>9.2} mJ/inf",
+            a.name(),
+            a.inferences_per_second(model),
+            a.energy_per_inference_mj(model)
+        );
+    }
+    for a in all_photonic() {
+        println!(
+            "  {:<18} {:>9.0} inf/s  {:>9.2} mJ/inf",
+            a.name(),
+            a.inferences_per_second(model),
+            a.energy_per_inference_mj(model)
+        );
+    }
+}
+
+fn endurance_cmd(model: &ModelSpec) {
+    let config = TridentConfig::paper();
+    println!("{}: GST endurance budget (1e12 cycles per cell)", model.name);
+    for (label, profile) in [
+        ("typical edge (5k inf/day, biannual fine-tune)", UsageProfile::typical_edge()),
+        ("heavy edge   (1 inf/s, monthly 20-epoch runs)", UsageProfile::heavy_edge()),
+    ] {
+        let r = budget(&config, model, &profile);
+        println!(
+            "  {label}: weight cells {:.0} yr, activation cells {:.1} yr -> lifetime {:.1} yr",
+            r.weight_lifetime_years.min(1e6),
+            r.activation_lifetime_years,
+            r.lifetime_years()
+        );
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    match cmd.as_str() {
+        "analyze" => analyze(&model_arg(args.next())),
+        "endurance" => endurance_cmd(&model_arg(args.next())),
+        "deploy" => deploy(&model_arg(args.next())),
+        "pipeline" => {
+            let model = model_arg(args.next());
+            let batch = args.next().and_then(|b| b.parse().ok()).unwrap_or(32);
+            pipeline_cmd(&model, batch);
+        }
+        "compare" => compare(&model_arg(args.next())),
+        "gate" => {
+            let (text, ok) = trident::experiments::gate::render();
+            print!("{text}");
+            if !ok {
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,9 @@
+//! The reproduction gate: checks every headline claim of the paper
+//! against this build and exits non-zero if any fails. Run it in CI.
+fn main() {
+    let (text, ok) = trident::experiments::gate::render();
+    print!("{text}");
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,429 @@
+//! Ablation studies DESIGN.md calls out.
+//!
+//! * [`bits`] — in-situ training accuracy vs weight resolution (the §II-B
+//!   claim that 6-bit thermal banks cannot train while 8-bit PCM can).
+//! * [`tuning`] — the same Trident pipeline under each tuning technology.
+//! * [`adc`] — photonic activation + LDSU vs an ADC-per-layer design.
+//! * [`scale`] — PE count and peak TOPS across power envelopes.
+
+use crate::report::{f, TextTable};
+use trident_arch::config::TridentConfig;
+use trident_arch::engine::PhotonicMlp;
+use trident_arch::perf::TridentPerfModel;
+use trident_nn::data::synthetic_digits;
+use trident_photonics::tuning::{TuningMethod, TuningProfile};
+use trident_photonics::units::EnergyPj;
+use trident_workload::zoo;
+
+/// Bit-resolution ablation.
+pub mod bits {
+    use super::*;
+
+    /// Result of training at one weight resolution.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        /// Weight bits.
+        pub bits: u8,
+        /// Final training-set accuracy.
+        pub accuracy: f64,
+        /// Final epoch mean loss.
+        pub final_loss: f64,
+    }
+
+    /// Train the same photonic MLP on the synthetic digit task at each
+    /// resolution in `bit_range`. `per_class`/`epochs` size the run
+    /// (tests use small values; the binaries use larger ones).
+    pub fn run(bit_range: &[u8], per_class: usize, epochs: usize) -> Vec<Row> {
+        run_with_lr(bit_range, per_class, epochs, 0.1)
+    }
+
+    /// [`run`] with an explicit learning rate.
+    pub fn run_with_lr(
+        bit_range: &[u8],
+        per_class: usize,
+        epochs: usize,
+        learning_rate: f64,
+    ) -> Vec<Row> {
+        let data = synthetic_digits(per_class, 0.05, 77);
+        let xs: Vec<Vec<f64>> = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .collect();
+        bit_range
+            .iter()
+            .map(|&bits| {
+                let mut engine = PhotonicMlp::new(&[64, 16, 10], 16, 16, 99, None, bits);
+                let outcome = engine.train(&xs, &data.labels, learning_rate, epochs);
+                Row {
+                    bits,
+                    accuracy: outcome.final_accuracy,
+                    final_loss: *outcome.loss_history.last().unwrap(),
+                }
+            })
+            .collect()
+    }
+
+    /// Render the sweep.
+    pub fn render(per_class: usize, epochs: usize) -> String {
+        let mut t = TextTable::new(
+            "Ablation: in-situ training vs weight bit resolution",
+            &["Bits", "Final accuracy", "Final loss"],
+        );
+        for row in run(&[4, 5, 6, 7, 8], per_class, epochs) {
+            t.row(&[
+                row.bits.to_string(),
+                format!("{:.1}%", row.accuracy * 100.0),
+                f(row.final_loss, 3),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Tuning-method ablation: the whole Trident pipeline with each tuning
+/// technology, 30 W-scaled.
+pub mod tuning {
+    use super::*;
+
+    /// One tuning method's whole-pipeline cost on one model.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        /// Tuning method.
+        pub method: TuningMethod,
+        /// PEs after 30 W scaling.
+        pub num_pes: usize,
+        /// GoogleNet inference latency, µs.
+        pub latency_us: f64,
+        /// GoogleNet energy per inference, mJ.
+        pub energy_mj: f64,
+        /// Whether the resulting bank can train.
+        pub can_train: bool,
+    }
+
+    /// Sweep the four tuning technologies.
+    pub fn run() -> Vec<Row> {
+        let model = zoo::googlenet();
+        [
+            TuningMethod::Gst,
+            TuningMethod::Thermal,
+            TuningMethod::Electric,
+            TuningMethod::HybridThermalElectric,
+        ]
+        .into_iter()
+        .map(|method| {
+            let mut config = TridentConfig::paper();
+            config.tuning = TuningProfile::of(method);
+            let config = config.scaled_to_envelope(30.0);
+            let perf = TridentPerfModel::new(config.clone(), 8);
+            let analysis = perf.analyze(&model);
+            Row {
+                method,
+                num_pes: config.num_pes,
+                latency_us: analysis.latency().micros(),
+                energy_mj: analysis.energy_mj(),
+                can_train: config.tuning.supports_training(),
+            }
+        })
+        .collect()
+    }
+
+    /// Render the sweep.
+    pub fn render() -> String {
+        let mut t = TextTable::new(
+            "Ablation: tuning method (GoogleNet, 30 W envelope)",
+            &["Method", "PEs", "Latency (us)", "Energy (mJ)", "Trains?"],
+        );
+        for row in run() {
+            t.row(&[
+                format!("{:?}", row.method),
+                row.num_pes.to_string(),
+                f(row.latency_us, 1),
+                f(row.energy_mj, 2),
+                if row.can_train { "yes".into() } else { "no".into() },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// ADC ablation: Trident vs Trident-with-ADCs (digital activation path).
+pub mod adc {
+    use super::*;
+
+    /// Energy comparison per model.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        /// Model name.
+        pub model: String,
+        /// Energy with the photonic activation + LDSU (mJ).
+        pub photonic_mj: f64,
+        /// Energy with ADC/DAC digital activation (mJ).
+        pub adc_mj: f64,
+        /// Extra energy fraction the ADC path costs.
+        pub overhead: f64,
+    }
+
+    /// Compare across the five models.
+    pub fn run() -> Vec<Row> {
+        let photonic = TridentPerfModel::paper();
+        let mut adc_config = TridentConfig::paper();
+        // Replace the GST activation path with an ADC/DAC round trip:
+        // no reset pulses, but 10 pJ per output conversion and a standing
+        // 20 mW-per-row ADC array.
+        adc_config.activation_reset_energy = EnergyPj::ZERO;
+        adc_config.adc_energy = EnergyPj(10.0);
+        adc_config.extra_pe_power =
+            trident_photonics::units::PowerMw(20.0 * adc_config.bank_rows as f64);
+        let adc_model = TridentPerfModel::new(adc_config, 8);
+        zoo::paper_models()
+            .into_iter()
+            .map(|model| {
+                let p = photonic.analyze(&model).energy_mj();
+                let a = adc_model.analyze(&model).energy_mj();
+                Row { model: model.name.clone(), photonic_mj: p, adc_mj: a, overhead: a / p - 1.0 }
+            })
+            .collect()
+    }
+
+    /// Render the comparison.
+    pub fn render() -> String {
+        let mut t = TextTable::new(
+            "Ablation: photonic activation + LDSU vs ADC-per-layer",
+            &["Model", "Photonic act. (mJ)", "ADC path (mJ)", "ADC overhead"],
+        );
+        for row in run() {
+            t.row(&[
+                row.model.clone(),
+                f(row.photonic_mj, 2),
+                f(row.adc_mj, 2),
+                format!("{:+.1}%", row.overhead * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Power-envelope scaling ablation.
+pub mod scale {
+    use super::*;
+
+    /// One envelope point.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        /// Power envelope, watts.
+        pub envelope_w: f64,
+        /// PEs that fit.
+        pub num_pes: usize,
+        /// Peak TOPS at that scale.
+        pub peak_tops: f64,
+        /// VGG-16 inferences/s at that scale.
+        pub vgg_rate: f64,
+    }
+
+    /// Sweep envelopes from 5 W to 60 W.
+    pub fn run() -> Vec<Row> {
+        let model = zoo::vgg16();
+        [5.0, 10.0, 20.0, 30.0, 45.0, 60.0]
+            .into_iter()
+            .map(|envelope_w| {
+                let config = TridentConfig::paper().scaled_to_envelope(envelope_w);
+                let perf = TridentPerfModel::new(config.clone(), 8);
+                Row {
+                    envelope_w,
+                    num_pes: config.num_pes,
+                    peak_tops: config.peak_tops(),
+                    vgg_rate: perf.analyze(&model).inferences_per_second(),
+                }
+            })
+            .collect()
+    }
+
+    /// Render the sweep.
+    pub fn render() -> String {
+        let mut t = TextTable::new(
+            "Ablation: power envelope scaling (VGG-16)",
+            &["Envelope (W)", "PEs", "Peak TOPS", "VGG-16 inf/s"],
+        );
+        for row in run() {
+            t.row(&[
+                f(row.envelope_w, 0),
+                row.num_pes.to_string(),
+                f(row.peak_tops, 2),
+                f(row.vgg_rate, 1),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// DFA-vs-backprop ablation (the related-work \[9\] comparison).
+pub mod dfa_vs_bp {
+    use super::*;
+    use trident_arch::dfa::{train_dfa, DfaFeedback};
+
+    /// Comparison of the two training rules on identical hardware/data.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Row {
+        /// Training rule name.
+        pub rule: &'static str,
+        /// Final accuracy.
+        pub accuracy: f64,
+        /// GST programming energy spent (uJ).
+        pub programming_uj: f64,
+    }
+
+    /// Train the same MLP with backprop and with DFA.
+    pub fn run(per_class: usize, epochs: usize) -> Vec<Row> {
+        let data = synthetic_digits(per_class, 0.05, 31);
+        let xs: Vec<Vec<f64>> = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .collect();
+
+        let mut bp = PhotonicMlp::new(&[64, 16, 10], 16, 16, 7, None, 8);
+        let bp_outcome = bp.train(&xs, &data.labels, 0.1, epochs);
+
+        let mut dfa_engine = PhotonicMlp::new(&[64, 16, 10], 16, 16, 7, None, 8);
+        let mut fb = DfaFeedback::for_engine(&dfa_engine, 41);
+        train_dfa(&mut dfa_engine, &mut fb, &xs, &data.labels, 0.3, epochs);
+        let dfa_acc = dfa_engine.accuracy(&xs, &data.labels);
+        let dfa_prog = dfa_engine.programming_energy() + fb.programming_energy();
+
+        vec![
+            Row {
+                rule: "backpropagation (Table II)",
+                accuracy: bp_outcome.final_accuracy,
+                programming_uj: bp_outcome.programming_energy.value() / 1e6,
+            },
+            Row {
+                rule: "direct feedback alignment",
+                accuracy: dfa_acc,
+                programming_uj: dfa_prog.value() / 1e6,
+            },
+        ]
+    }
+
+    /// Render the comparison.
+    pub fn render(per_class: usize, epochs: usize) -> String {
+        let mut t = TextTable::new(
+            "Ablation: backpropagation vs direct feedback alignment",
+            &["Training rule", "Final accuracy", "GST programming (uJ)"],
+        );
+        for row in run(per_class, epochs) {
+            t.row(&[
+                row.rule.to_string(),
+                format!("{:.1}%", row.accuracy * 100.0),
+                f(row.programming_uj, 1),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Fabrication-variation ablation (the paper's §I motivation).
+pub mod variation {
+    use super::*;
+    use trident_arch::variation::VariationStudy;
+
+    /// Run the deploy-then-finetune study over sigma points.
+    pub fn run(
+        sigmas_nm: &[f64],
+        per_class: usize,
+        trials: usize,
+    ) -> Vec<trident_arch::variation::VariationRow> {
+        let data = synthetic_digits(per_class, 0.05, 99);
+        let xs: Vec<Vec<f64>> = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .collect();
+        let study = VariationStudy { trials, ..Default::default() };
+        study.run(sigmas_nm, &xs, &data.labels)
+    }
+
+    /// Render the study.
+    pub fn render(per_class: usize, trials: usize) -> String {
+        let mut t = TextTable::new(
+            "Ablation: fabrication variation — deploy vs in-situ fine-tune",
+            &["sigma (nm)", "Ideal acc.", "Deployed acc.", "Fine-tuned acc.", "Recovery"],
+        );
+        for row in run(&[0.0, 0.01, 0.02, 0.04, 0.08], per_class, trials) {
+            t.row(&[
+                format!("{:.3}", row.sigma_nm),
+                format!("{:.1}%", row.ideal_accuracy * 100.0),
+                format!("{:.1}%", row.deployed_accuracy * 100.0),
+                format!("{:.1}%", row.finetuned_accuracy * 100.0),
+                format!("{:.0}%", row.recovery() * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bits_train_six_bits_stall() {
+        // The §II-B / Wang-et-al. claim, reproduced functionally: with
+        // identical data, initialisation and learning rate, the 8-bit
+        // (GST) bank learns the digit task while the 6-bit (thermal)
+        // bank's updates round away.
+        let rows = bits::run(&[6, 8], 4, 12);
+        let six = rows.iter().find(|r| r.bits == 6).unwrap();
+        let eight = rows.iter().find(|r| r.bits == 8).unwrap();
+        assert!(
+            eight.accuracy > 0.8,
+            "8-bit training should learn the task, got {:.1}%",
+            eight.accuracy * 100.0
+        );
+        assert!(
+            eight.accuracy > six.accuracy + 0.2,
+            "8-bit ({:.1}%) must clearly beat 6-bit ({:.1}%)",
+            eight.accuracy * 100.0,
+            six.accuracy * 100.0
+        );
+    }
+
+    #[test]
+    fn gst_tuning_wins_the_method_sweep() {
+        // GST is the cheapest method and the only one that trains. Note a
+        // nuance our device model surfaces: volatile methods' *write*
+        // power per ring is lower than GST's burst (1.7 vs 2.2 mW), so a
+        // worst-case 30 W cap can admit them a few extra PEs — but they
+        // pay hold power forever and stay below 8 bits, so they lose on
+        // both energy and capability.
+        let rows = tuning::run();
+        let gst = rows.iter().find(|r| r.method == TuningMethod::Gst).unwrap();
+        for row in &rows {
+            if row.method != TuningMethod::Gst {
+                assert!(gst.energy_mj < row.energy_mj, "{:?} energy", row.method);
+                assert!(!row.can_train, "{:?} should not train", row.method);
+            }
+        }
+        assert!(gst.can_train);
+        assert_eq!(gst.num_pes, 44);
+    }
+
+    #[test]
+    fn adc_path_always_costs_more() {
+        for row in adc::run() {
+            assert!(
+                row.overhead > 0.0,
+                "{}: ADC path must cost extra energy, got {:+.1}%",
+                row.model,
+                row.overhead * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_envelope() {
+        let rows = scale::run();
+        for pair in rows.windows(2) {
+            assert!(pair[1].num_pes >= pair[0].num_pes);
+            assert!(pair[1].peak_tops >= pair[0].peak_tops);
+            assert!(pair[1].vgg_rate >= pair[0].vgg_rate * 0.99);
+        }
+        // The paper's point: 30 W admits 44 PEs.
+        let at30 = rows.iter().find(|r| r.envelope_w == 30.0).unwrap();
+        assert_eq!(at30.num_pes, 44);
+    }
+}

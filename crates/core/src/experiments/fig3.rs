@@ -1,0 +1,61 @@
+//! Fig. 3 — the output function of the GST activation cell at 1553.4 nm.
+
+use crate::report::TextTable;
+use trident_pcm::activation::{fig3_curve, ActivationCellParams};
+
+/// The sampled transfer curve: `(input pulse energy pJ, output pJ)`.
+pub fn run(max_pj: f64, samples: usize) -> Vec<(f64, f64)> {
+    fig3_curve(&ActivationCellParams::default(), max_pj, samples)
+}
+
+/// Render the curve as a CSV-style series plus an ASCII sketch.
+pub fn render() -> String {
+    let params = ActivationCellParams::default();
+    let curve = run(1000.0, 51);
+    let mut t = TextTable::new(
+        format!(
+            "Fig. 3: GST Activation Cell Output Function ({} threshold, slope {})",
+            params.threshold, params.slope
+        ),
+        &["input_pj", "output_pj"],
+    );
+    for (x, y) in &curve {
+        t.row(&[format!("{x:.1}"), format!("{y:.2}")]);
+    }
+    let mut out = t.to_csv();
+    out.push('\n');
+    // ASCII sketch: 21 columns over the range.
+    let max_out = curve.iter().map(|&(_, y)| y).fold(0.0, f64::max).max(1e-9);
+    out.push_str("sketch (input left to right, * = output level):\n");
+    for &(x, y) in curve.iter().step_by(5) {
+        let bar = "*".repeat((y / max_out * 40.0).round() as usize);
+        out.push_str(&format!("{x:7.1} pJ |{bar}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_flat_then_linear() {
+        let curve = run(1000.0, 201);
+        let threshold = 430.0;
+        for &(x, y) in &curve {
+            if x < threshold {
+                assert_eq!(y, 0.0, "below threshold at {x}");
+            } else {
+                assert!((y - 0.34 * (x - threshold)).abs() < 1e-9, "above threshold at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_emits_csv_and_sketch() {
+        let text = render();
+        assert!(text.contains("input_pj,output_pj"));
+        assert!(text.contains("sketch"));
+        assert!(text.contains('*'));
+    }
+}

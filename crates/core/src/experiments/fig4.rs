@@ -1,0 +1,135 @@
+//! Fig. 4 — total inference energy of the four photonic accelerators on
+//! the five CNN models, all scaled to 30 W.
+
+use crate::report::{f, TextTable};
+use trident_baselines::photonic::{all_photonic, PhotonicAccelerator};
+use trident_workload::zoo;
+
+/// One model's energies across the photonic designs, in millijoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// `(accelerator name, energy mJ)` in Fig. 4 order
+    /// (DEAP-CNN, CrossLight, PIXEL, Trident).
+    pub energies: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Energy of a named accelerator.
+    pub fn energy_of(&self, name: &str) -> f64 {
+        self.energies
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, e)| e)
+            .unwrap_or_else(|| panic!("no accelerator {name}"))
+    }
+}
+
+/// Energy of each photonic design on each model.
+pub fn run() -> Vec<Row> {
+    let accels: Vec<PhotonicAccelerator> = all_photonic();
+    zoo::paper_models()
+        .into_iter()
+        .map(|model| Row {
+            model: model.name.clone(),
+            energies: accels
+                .iter()
+                .map(|a| {
+                    use trident_baselines::traits::AcceleratorModel;
+                    (a.name().to_string(), a.energy_per_inference_mj(&model))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Per-baseline average energy ratio vs Trident (the paper's headline
+/// percentages: +16.4% DEAP, +43.5% CrossLight, +43.4% PIXEL).
+pub fn average_ratios(rows: &[Row]) -> Vec<(String, f64)> {
+    let names: Vec<String> =
+        rows[0].energies.iter().map(|(n, _)| n.clone()).filter(|n| n != "Trident").collect();
+    names
+        .into_iter()
+        .map(|name| {
+            let avg = rows
+                .iter()
+                .map(|r| r.energy_of(&name) / r.energy_of("Trident"))
+                .sum::<f64>()
+                / rows.len() as f64;
+            (name, avg)
+        })
+        .collect()
+}
+
+/// Render Fig. 4's data.
+pub fn render() -> String {
+    let rows = run();
+    let accel_names: Vec<String> = rows[0].energies.iter().map(|(n, _)| n.clone()).collect();
+    let mut headers = vec!["Model"];
+    let name_refs: Vec<&str> = accel_names.iter().map(String::as_str).collect();
+    headers.extend(name_refs.iter());
+    let mut t = TextTable::new(
+        "Fig. 4: Photonic Accelerators Total Energy per Inference (mJ)",
+        &headers,
+    );
+    for row in &rows {
+        let mut cells = vec![row.model.clone()];
+        cells.extend(row.energies.iter().map(|(_, e)| f(*e, 2)));
+        t.row(&cells);
+    }
+    let mut out = t.render();
+    out.push_str("\nAverage energy vs Trident (paper: DEAP +16.4%, CrossLight +43.5%, PIXEL +43.4%):\n");
+    for (name, ratio) in average_ratios(&rows) {
+        out.push_str(&format!("  {name:<12} {:.2}x Trident\n", ratio));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trident_is_cheapest_on_every_model() {
+        for row in run() {
+            let trident = row.energy_of("Trident");
+            for (name, energy) in &row.energies {
+                if name != "Trident" {
+                    assert!(
+                        trident < *energy,
+                        "{}: Trident {trident} mJ vs {name} {energy} mJ",
+                        row.model
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_tracks_model_size() {
+        let rows = run();
+        let by = |m: &str| {
+            rows.iter().find(|r| r.model == m).unwrap().energy_of("Trident")
+        };
+        assert!(by("VGG-16") > by("ResNet-50"));
+        assert!(by("ResNet-50") > by("GoogleNet"));
+        assert!(by("GoogleNet") > by("MobileNetV2"));
+    }
+
+    #[test]
+    fn deap_has_the_smallest_average_gap() {
+        let ratios = average_ratios(&run());
+        let get = |n: &str| ratios.iter().find(|(name, _)| name == n).unwrap().1;
+        assert!(get("DEAP-CNN") < get("CrossLight"));
+        assert!(get("DEAP-CNN") < get("PIXEL"));
+        assert!(get("DEAP-CNN") > 1.0, "every baseline costs more than Trident");
+    }
+
+    #[test]
+    fn render_includes_averages() {
+        let text = render();
+        assert!(text.contains("Average energy vs Trident"));
+        assert!(text.contains("DEAP-CNN"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 5 — Trident chip area breakdown by component (44 PEs).
+
+use crate::report::{f, TextTable};
+use trident_arch::area::AreaModel;
+use trident_arch::config::TridentConfig;
+
+/// One component's chip area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Component name.
+    pub component: String,
+    /// Whole-chip area in mm².
+    pub area_mm2: f64,
+    /// Share of the total, as a fraction.
+    pub share: f64,
+}
+
+/// The area breakdown, largest first, plus the chip total.
+pub fn run() -> (Vec<Row>, f64) {
+    let model = AreaModel::new(&TridentConfig::paper());
+    let total = model.chip_area().mm2();
+    let mut rows: Vec<Row> = model
+        .chip_breakdown()
+        .into_iter()
+        .map(|(component, area)| Row {
+            component: component.to_string(),
+            area_mm2: area.mm2(),
+            share: area.mm2() / total,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.area_mm2.partial_cmp(&a.area_mm2).unwrap());
+    (rows, total)
+}
+
+/// Render Fig. 5's data.
+pub fn render() -> String {
+    let (rows, total) = run();
+    let mut t = TextTable::new(
+        "Fig. 5: Trident Chip Area Breakdown by Component (44 PEs)",
+        &["Component", "Area (mm^2)", "Share"],
+    );
+    for row in &rows {
+        t.row(&[
+            row.component.clone(),
+            f(row.area_mm2, 2),
+            format!("{:.2}%", row.share * 100.0),
+        ]);
+    }
+    t.row(&["TOTAL".into(), f(total, 1), "100%".into()]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_matches_section_iv() {
+        let (_, total) = run();
+        assert!((total - 604.6).abs() < 15.0, "chip total {total} mm^2");
+    }
+
+    #[test]
+    fn tia_is_the_largest_component() {
+        let (rows, _) = run();
+        assert_eq!(rows[0].component, "TIA", "Fig. 5: TIAs dominate");
+        assert!(rows[0].share > 0.5);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let (rows, _) = run();
+        let sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_has_total() {
+        assert!(render().contains("TOTAL"));
+    }
+}

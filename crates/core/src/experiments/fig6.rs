@@ -1,0 +1,148 @@
+//! Fig. 6 — inferences per second across all six edge accelerators
+//! (three photonic baselines are reported alongside in §V-A; the figure
+//! itself compares the electronic devices and Trident).
+
+use crate::report::{f, TextTable};
+use trident_baselines::electronic::all_electronic;
+use trident_baselines::photonic::{all_photonic, trident_photonic};
+use trident_baselines::traits::AcceleratorModel;
+use trident_workload::zoo;
+
+/// One model's throughput across accelerators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// `(accelerator, inferences per second)`.
+    pub rates: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Rate of a named accelerator.
+    pub fn rate_of(&self, name: &str) -> f64 {
+        self.rates
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+            .unwrap_or_else(|| panic!("no accelerator {name}"))
+    }
+}
+
+/// Throughput of every accelerator (photonic + electronic) on every model.
+pub fn run() -> Vec<Row> {
+    let photonic = all_photonic();
+    let electronic = all_electronic();
+    zoo::paper_models()
+        .into_iter()
+        .map(|model| {
+            let mut rates: Vec<(String, f64)> = Vec::new();
+            for a in &electronic {
+                rates.push((a.name().to_string(), a.inferences_per_second(&model)));
+            }
+            for a in &photonic {
+                rates.push((a.name().to_string(), a.inferences_per_second(&model)));
+            }
+            Row { model: model.name.clone(), rates }
+        })
+        .collect()
+}
+
+/// Trident's average speedup vs a named accelerator across the models.
+pub fn average_speedup(rows: &[Row], against: &str) -> f64 {
+    rows.iter().map(|r| r.rate_of("Trident") / r.rate_of(against)).sum::<f64>()
+        / rows.len() as f64
+}
+
+/// Render Fig. 6's data.
+pub fn render() -> String {
+    let rows = run();
+    let names: Vec<String> = rows[0].rates.iter().map(|(n, _)| n.clone()).collect();
+    let mut headers = vec!["Model"];
+    headers.extend(names.iter().map(String::as_str));
+    let mut t = TextTable::new(
+        "Fig. 6: Edge Accelerators Inferences per Second",
+        &headers,
+    );
+    for row in &rows {
+        let mut cells = vec![row.model.clone()];
+        cells.extend(row.rates.iter().map(|(_, r)| f(*r, 0)));
+        t.row(&cells);
+    }
+    let mut out = t.render();
+    out.push_str("\nTrident average speedup (paper: Xavier 2.08x, Coral 15.1x, TB96 6.9x,\n");
+    out.push_str("                         DEAP 1.28x, CrossLight 2.50x, PIXEL 2.44x):\n");
+    let trident = trident_photonic();
+    for name in names.iter().filter(|n| n.as_str() != trident.name()) {
+        out.push_str(&format!(
+            "  vs {name:<20} {:.2}x\n",
+            average_speedup(&rows, name)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trident_beats_every_electronic_accelerator_everywhere() {
+        for row in run() {
+            let trident = row.rate_of("Trident");
+            for name in ["NVIDIA AGX Xavier", "Bearkey TB96-AI", "Google Coral"] {
+                // GoogleNet vs Xavier is near parity in our model (the
+                // training crossover); everywhere else Trident wins clean.
+                if row.model == "GoogleNet" && name == "NVIDIA AGX Xavier" {
+                    assert!(
+                        trident > 0.8 * row.rate_of(name),
+                        "GoogleNet: Trident {trident} vs Xavier {}",
+                        row.rate_of(name)
+                    );
+                } else {
+                    assert!(
+                        trident > row.rate_of(name),
+                        "{}: Trident {trident}/s vs {name} {}/s",
+                        row.model,
+                        row.rate_of(name)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn average_speedups_have_paper_ordering() {
+        // Paper: Coral (15.1×) ≫ TB96 (6.9×) ≫ Xavier (2.08×).
+        let rows = run();
+        let coral = average_speedup(&rows, "Google Coral");
+        let tb96 = average_speedup(&rows, "Bearkey TB96-AI");
+        let xavier = average_speedup(&rows, "NVIDIA AGX Xavier");
+        assert!(coral > tb96, "Coral {coral:.1} vs TB96 {tb96:.1}");
+        assert!(tb96 > xavier, "TB96 {tb96:.1} vs Xavier {xavier:.1}");
+        assert!(xavier > 1.0, "Trident must beat Xavier on average, got {xavier:.2}");
+    }
+
+    #[test]
+    fn speedup_magnitudes_near_paper() {
+        let rows = run();
+        let xavier = average_speedup(&rows, "NVIDIA AGX Xavier");
+        // Paper average: 2.08×. Accept a generous band.
+        assert!((1.2..4.0).contains(&xavier), "Xavier speedup {xavier:.2}");
+        let coral = average_speedup(&rows, "Google Coral");
+        // Paper: 15.1×.
+        assert!((6.0..40.0).contains(&coral), "Coral speedup {coral:.2}");
+        let tb96 = average_speedup(&rows, "Bearkey TB96-AI");
+        // Paper: 6.9×.
+        assert!((3.0..20.0).contains(&tb96), "TB96 speedup {tb96:.2}");
+    }
+
+    #[test]
+    fn render_covers_all_accelerators() {
+        let text = render();
+        for name in
+            ["Trident", "DEAP-CNN", "CrossLight", "PIXEL", "Google Coral", "Bearkey TB96-AI"]
+        {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! One runner per table/figure of the paper's evaluation, plus the
+//! ablations DESIGN.md calls out.
+//!
+//! Every runner exposes `run(…) ->` typed rows and `render(…) -> String`
+//! so the same code feeds the benchmark binaries, the integration tests,
+//! and downstream users.
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — MRR tuning method comparison |
+//! | [`table2`] | Table II — PE device mapping across operating modes |
+//! | [`table3`] | Table III — PE power breakdown + steady-state claim |
+//! | [`table4`] | Table IV — accelerator TOPS / W / TOPS-per-W / training |
+//! | [`table5`] | Table V — time to train 50 000 images |
+//! | [`fig3`] | Fig. 3 — GST activation cell transfer curve |
+//! | [`fig4`] | Fig. 4 — photonic accelerator energy comparison |
+//! | [`fig5`] | Fig. 5 — Trident chip area breakdown |
+//! | [`fig6`] | Fig. 6 — inferences/s across all six accelerators |
+//! | [`ablations`] | bit-resolution, tuning-method, ADC, PE-scaling, DFA, variation sweeps |
+//! | [`gate`] | the reproduction gate: every claim checked in one pass |
+
+pub mod ablations;
+pub mod fig3;
+pub mod gate;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+/// The image count Table V trains over.
+pub const TABLE_V_IMAGES: u64 = 50_000;

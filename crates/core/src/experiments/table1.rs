@@ -1,0 +1,71 @@
+//! Table I — MRR tuning method comparison.
+
+use crate::report::{f, TextTable};
+use trident_photonics::tuning::{TuningMethod, TuningProfile};
+
+/// One tuning technology's figures of merit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Method name as printed in the paper.
+    pub method: &'static str,
+    /// The full profile.
+    pub profile: TuningProfile,
+}
+
+/// The three methods of Table I (thermal, electric, GST).
+pub fn run() -> Vec<Row> {
+    vec![
+        Row { method: "Thermal", profile: TuningProfile::of(TuningMethod::Thermal) },
+        Row { method: "Electric", profile: TuningProfile::of(TuningMethod::Electric) },
+        Row { method: "GST", profile: TuningProfile::of(TuningMethod::Gst) },
+    ]
+}
+
+/// Render the table (extended with the columns the paper discusses in
+/// prose: hold power, volatility, bit resolution).
+pub fn render() -> String {
+    let mut t = TextTable::new(
+        "Table I: Tuning Method Comparison",
+        &["Method", "Tuning Energy", "Speed", "Hold Power", "Non-volatile", "Bits"],
+    );
+    for row in run() {
+        let p = &row.profile;
+        t.row(&[
+            row.method.to_string(),
+            format!("{} pJ", f(p.write_energy.value(), 0)),
+            format!("{} ns", f(p.write_time.value(), 0)),
+            format!("{} mW", f(p.hold_power.value(), 2)),
+            if p.non_volatile { "yes".into() } else { "no".into() },
+            p.bit_resolution.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper_table_i() {
+        let rows = run();
+        assert_eq!(rows.len(), 3);
+        let gst = rows.iter().find(|r| r.method == "GST").unwrap();
+        assert_eq!(gst.profile.write_energy.value(), 660.0);
+        assert_eq!(gst.profile.write_time.value(), 300.0);
+        let thermal = rows.iter().find(|r| r.method == "Thermal").unwrap();
+        assert_eq!(thermal.profile.write_energy.nanojoules(), 1.02);
+        assert_eq!(thermal.profile.write_time.micros(), 0.6);
+        let electric = rows.iter().find(|r| r.method == "Electric").unwrap();
+        assert_eq!(electric.profile.write_time.value(), 500.0);
+    }
+
+    #[test]
+    fn render_contains_headline_numbers() {
+        let text = render();
+        assert!(text.contains("660 pJ"));
+        assert!(text.contains("300 ns"));
+        assert!(text.contains("GST"));
+        assert!(text.contains("Thermal"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Table III — Trident PE power breakdown, plus the §IV steady-state
+//! claim (0.67 W tuning-burst → 0.11 W once weights are resident).
+
+use crate::report::{f, TextTable};
+use trident_arch::config::TridentConfig;
+use trident_arch::power::PePowerModel;
+use trident_photonics::ledger::PowerLedger;
+
+/// The Table III result.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Per-device worst-case breakdown.
+    pub breakdown: PowerLedger,
+    /// Worst-case PE power in watts.
+    pub total_w: f64,
+    /// Steady-state PE power (weights resident) in watts.
+    pub steady_w: f64,
+    /// Power saved by non-volatility, as a fraction.
+    pub savings: f64,
+}
+
+/// Compute the breakdown for the paper's configuration.
+pub fn run() -> Result {
+    let model = PePowerModel::new(&TridentConfig::paper());
+    let breakdown = model.breakdown();
+    let total_w = model.worst_case().watts();
+    let steady_w = model.steady_state().watts();
+    Result { breakdown, total_w, steady_w, savings: 1.0 - steady_w / total_w }
+}
+
+/// Render the table and the steady-state note.
+pub fn render() -> String {
+    let r = run();
+    let mut t = TextTable::new(
+        "Table III: Trident Device Power Breakdown",
+        &["Component", "Power (mW)", "Percentage"],
+    );
+    for (item, power) in r.breakdown.ranked() {
+        t.row(&[
+            item.to_string(),
+            f(power.value(), 2),
+            format!("{:.2}%", r.breakdown.share(item) * 100.0),
+        ]);
+    }
+    t.row(&["TOTAL".into(), f(r.total_w * 1e3, 1), "100%".into()]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nSteady state (weights resident, non-volatile GST): {:.2} W \
+         -> {:.1}% below the {:.2} W tuning burst\n",
+        r.steady_w,
+        r.savings * 100.0,
+        r.total_w
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_arch::power::items;
+
+    #[test]
+    fn totals_match_table_iii() {
+        let r = run();
+        assert!((r.total_w - 0.67).abs() < 0.01, "total {}", r.total_w);
+        assert!((r.steady_w - 0.11).abs() < 0.01, "steady {}", r.steady_w);
+        assert!((r.savings - 0.8334).abs() < 0.01, "savings {}", r.savings);
+    }
+
+    #[test]
+    fn tuning_dominates() {
+        let r = run();
+        let ranked = r.breakdown.ranked();
+        assert_eq!(ranked[0].0, items::GST_TUNING);
+    }
+
+    #[test]
+    fn render_lists_every_component() {
+        let text = render();
+        for item in
+            [items::LDSU, items::EO_LASER, items::GST_TUNING, items::GST_READ, items::ACT_RESET]
+        {
+            assert!(text.contains(item), "missing {item}");
+        }
+        assert!(text.contains("Steady state"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Table V — time to train 50 000 images: NVIDIA AGX Xavier vs Trident.
+//!
+//! Xavier's training rate follows the paper's method (training throughput
+//! derived from inference throughput); Trident's adds the bank-retuning
+//! overhead of its training schedule, which is what makes GoogleNet the
+//! crossover case (the only model where the GPU wins).
+
+use crate::experiments::TABLE_V_IMAGES;
+use crate::report::{f, pct, TextTable};
+use trident_arch::perf::TridentPerfModel;
+use trident_arch::training::{inference_derived_training_time, trident_training_time};
+use trident_baselines::electronic::nvidia_agx_xavier;
+use trident_baselines::traits::AcceleratorModel;
+use trident_workload::zoo;
+
+/// Mini-batch the training schedule amortizes bank retuning over.
+pub const TRAINING_BATCH: usize = 8;
+
+/// One model's Table V row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Model name.
+    pub model: String,
+    /// Xavier's time to train 50 000 images, seconds.
+    pub xavier_seconds: f64,
+    /// Trident's time, seconds.
+    pub trident_seconds: f64,
+    /// Percent change (negative = Trident faster), as a fraction.
+    pub percent_change: f64,
+}
+
+/// The four Table V models, paper order.
+pub fn run() -> Vec<Row> {
+    let xavier = nvidia_agx_xavier();
+    let perf = TridentPerfModel::paper();
+    [zoo::mobilenet_v2(), zoo::googlenet(), zoo::resnet50(), zoo::vgg16()]
+        .into_iter()
+        .map(|model| {
+            let xavier_rate = xavier.inferences_per_second(&model);
+            let xavier_t =
+                inference_derived_training_time(&model.name, xavier_rate, TABLE_V_IMAGES);
+            let trident_t =
+                trident_training_time(&perf, &model, TABLE_V_IMAGES, TRAINING_BATCH);
+            Row {
+                model: model.name.clone(),
+                xavier_seconds: xavier_t.total_seconds,
+                trident_seconds: trident_t.total_seconds,
+                percent_change: trident_t.total_seconds / xavier_t.total_seconds - 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Render Table V.
+pub fn render() -> String {
+    let mut t = TextTable::new(
+        "Table V: Edge Accelerators Time to Train 50,000 Images",
+        &["NN Model", "NVIDIA AGX Xavier", "Trident", "Percent Change"],
+    );
+    for row in run() {
+        t.row(&[
+            row.model.clone(),
+            format!("{} s", f(row.xavier_seconds, 1)),
+            format!("{} s", f(row.trident_seconds, 1)),
+            pct(row.percent_change),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_model(rows: &[Row], name: &str) -> Row {
+        rows.iter().find(|r| r.model == name).cloned().unwrap()
+    }
+
+    #[test]
+    fn trident_wins_three_of_four() {
+        // The paper's shape: Trident is faster on MobileNetV2 (−8.5%),
+        // ResNet-50 (−15.9%) and VGG-16 (−38.5%).
+        let rows = run();
+        for model in ["MobileNetV2", "ResNet-50", "VGG-16"] {
+            let r = by_model(&rows, model);
+            assert!(
+                r.percent_change < 0.0,
+                "{model}: Trident {:.1}s should beat Xavier {:.1}s",
+                r.trident_seconds,
+                r.xavier_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn googlenet_is_the_crossover() {
+        // The paper's one loss: GoogleNet (+10.6%) — many small layers
+        // make retuning overhead dominate.
+        let r = by_model(&run(), "GoogleNet");
+        assert!(
+            r.percent_change > 0.0,
+            "GoogleNet: Trident {:.1}s should lose to Xavier {:.1}s",
+            r.trident_seconds,
+            r.xavier_seconds
+        );
+        // And the loss should be modest (paper: ~10%, "a 6 second
+        // difference"), not catastrophic.
+        assert!(r.percent_change < 0.6, "GoogleNet loss {:.1}%", r.percent_change * 100.0);
+    }
+
+    #[test]
+    fn magnitudes_are_in_the_papers_ballpark() {
+        let rows = run();
+        let vgg = by_model(&rows, "VGG-16");
+        // Paper: Xavier 1293.8 s, Trident 796.1 s.
+        assert!(
+            (600.0..2600.0).contains(&vgg.xavier_seconds),
+            "Xavier VGG {}",
+            vgg.xavier_seconds
+        );
+        assert!(
+            (400.0..1600.0).contains(&vgg.trident_seconds),
+            "Trident VGG {}",
+            vgg.trident_seconds
+        );
+        let mobilenet = by_model(&rows, "MobileNetV2");
+        // Paper: 32.5 s / 29.7 s — tens of seconds.
+        assert!(
+            (5.0..120.0).contains(&mobilenet.trident_seconds),
+            "Trident MobileNetV2 {}",
+            mobilenet.trident_seconds
+        );
+    }
+
+    #[test]
+    fn large_models_give_trident_its_biggest_wins() {
+        // Paper ordering has VGG-16 as the biggest win (-38.5%); in our
+        // model ResNet-50 and VGG-16 trade places, but both big models
+        // beat MobileNetV2's margin, preserving the trend that Trident's
+        // advantage grows with model size.
+        let rows = run();
+        let mobilenet = by_model(&rows, "MobileNetV2").percent_change;
+        for model in ["VGG-16", "ResNet-50"] {
+            assert!(
+                by_model(&rows, model).percent_change <= mobilenet,
+                "{model} should out-win MobileNetV2"
+            );
+        }
+    }
+
+    #[test]
+    fn render_contains_all_models() {
+        let text = render();
+        for model in ["MobileNetV2", "GoogleNet", "ResNet-50", "VGG-16"] {
+            assert!(text.contains(model));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # trident
+//!
+//! Unified public API for the Trident reproduction — a simulation study of
+//! *"PCM Enabled Low-Power Photonic Accelerator for Inference and Training
+//! on Edge Devices"* (Curry, Louri, Karanth, Bunescu — IPDPS 2024).
+//!
+//! This crate re-exports the substrate crates and adds the
+//! [`experiments`] module: one runner per table and figure of the paper's
+//! evaluation, each returning typed rows that the benchmark binaries
+//! print, the integration tests assert on, and downstream users can
+//! consume programmatically.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use trident::experiments::table4;
+//!
+//! // Regenerate Table IV (TOPS / W / TOPS-per-W / training support).
+//! let rows = table4::run();
+//! let trident = rows.iter().find(|r| r.name == "Trident").unwrap();
+//! assert!(trident.supports_training);
+//! assert!(trident.tops > 7.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`photonics`] | WDM, microrings, detectors, tuning methods, noise |
+//! | [`pcm`] | GST cells, PCM-MRR weights, activation cell, LDSU |
+//! | [`nn`] | tensors, layers, float backprop reference, quantization |
+//! | [`workload`] | the five CNN topologies + weight-stationary dataflow |
+//! | [`arch`] | Trident PEs, in-situ training engine, perf/power/area |
+//! | [`baselines`] | DEAP-CNN, CrossLight, PIXEL, Xavier, TB96-AI, Coral |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use trident_arch as arch;
+pub use trident_baselines as baselines;
+pub use trident_nn as nn;
+pub use trident_pcm as pcm;
+pub use trident_photonics as photonics;
+pub use trident_workload as workload;
+
+pub mod experiments;
+pub mod report;
+
+pub use arch::{PhotonicMlp, TridentConfig, TridentPerfModel};
+pub use baselines::AcceleratorModel;
+
+/// Everything a typical downstream user needs, in one import.
+pub mod prelude {
+    pub use crate::arch::config::TridentConfig;
+    pub use crate::arch::engine::{EngineOptions, PhotonicMlp};
+    pub use crate::arch::mapper::{plan, DeploymentPlan};
+    pub use crate::arch::pe::ProcessingElement;
+    pub use crate::arch::perf::TridentPerfModel;
+    pub use crate::arch::pipeline::simulate as simulate_pipeline;
+    pub use crate::baselines::electronic::all_electronic;
+    pub use crate::baselines::photonic::{all_photonic, trident_photonic};
+    pub use crate::baselines::traits::AcceleratorModel;
+    pub use crate::workload::model::{ModelBuilder, ModelSpec};
+    pub use crate::workload::zoo;
+}

@@ -1,0 +1,222 @@
+//! Seeded synthetic datasets.
+//!
+//! The paper's training workloads (ImageNet-class CNNs, MNIST in the
+//! related work) are substituted with hermetic synthetic tasks per the
+//! reproduction's substitution policy: a procedural 8×8 digit-glyph task
+//! (structure comparable to MNIST's: 10 classes, translated noisy glyphs)
+//! and Gaussian blobs for quick MLP sanity experiments. Everything is
+//! seeded, so every experiment is bit-reproducible.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset: inputs `[n, features]` plus integer labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Input matrix, one example per row.
+    pub inputs: Tensor,
+    /// Class label per example.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of input features.
+    pub fn features(&self) -> usize {
+        self.inputs.shape()[1]
+    }
+
+    /// Split into (train, test) with the first `train_fraction` of
+    /// examples training (examples are already generated in shuffled
+    /// order).
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let n_train = (self.len() as f64 * train_fraction).round() as usize;
+        let f = self.features();
+        let take = |range: std::ops::Range<usize>| {
+            let mut data = Vec::with_capacity(range.len() * f);
+            for r in range.clone() {
+                data.extend_from_slice(self.inputs.row(r));
+            }
+            Dataset {
+                inputs: Tensor::from_vec(&[range.len(), f], data),
+                labels: self.labels[range].to_vec(),
+            }
+        };
+        (take(0..n_train), take(n_train..self.len()))
+    }
+}
+
+/// Gaussian blobs: `classes` clusters in `features`-dimensional space.
+pub fn gaussian_blobs(
+    classes: usize,
+    per_class: usize,
+    features: usize,
+    noise: f32,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random but well-separated unit-cube corners as centroids.
+    let centroids: Vec<Vec<f32>> = (0..classes)
+        .map(|_| (0..features).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let n = classes * per_class;
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates shuffle for interleaved classes.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut data = vec![0.0f32; n * features];
+    let mut labels = vec![0usize; n];
+    for (slot, &raw) in order.iter().enumerate() {
+        let class = raw % classes;
+        labels[slot] = class;
+        for f in 0..features {
+            let jitter: f32 = {
+                // Box–Muller from two uniforms.
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            };
+            data[slot * features + f] = centroids[class][f] + noise * jitter;
+        }
+    }
+    Dataset { inputs: Tensor::from_vec(&[n, features], data), labels }
+}
+
+/// 8×8 pixel glyphs for the ten digits (1 = ink, 0 = background).
+const GLYPHS: [[u8; 8]; 10] = [
+    // Each u8 is one row, MSB = leftmost pixel.
+    [0x3C, 0x66, 0x6E, 0x76, 0x66, 0x66, 0x3C, 0x00], // 0
+    [0x18, 0x38, 0x18, 0x18, 0x18, 0x18, 0x7E, 0x00], // 1
+    [0x3C, 0x66, 0x06, 0x0C, 0x18, 0x30, 0x7E, 0x00], // 2
+    [0x3C, 0x66, 0x06, 0x1C, 0x06, 0x66, 0x3C, 0x00], // 3
+    [0x0C, 0x1C, 0x2C, 0x4C, 0x7E, 0x0C, 0x0C, 0x00], // 4
+    [0x7E, 0x60, 0x7C, 0x06, 0x06, 0x66, 0x3C, 0x00], // 5
+    [0x1C, 0x30, 0x60, 0x7C, 0x66, 0x66, 0x3C, 0x00], // 6
+    [0x7E, 0x06, 0x0C, 0x18, 0x30, 0x30, 0x30, 0x00], // 7
+    [0x3C, 0x66, 0x66, 0x3C, 0x66, 0x66, 0x3C, 0x00], // 8
+    [0x3C, 0x66, 0x66, 0x3E, 0x06, 0x0C, 0x38, 0x00], // 9
+];
+
+/// Render digit `d` into a 64-float image with a pixel shift.
+fn render_glyph(d: usize, dx: i32, dy: i32) -> [f32; 64] {
+    let mut img = [0.0f32; 64];
+    for y in 0..8i32 {
+        for x in 0..8i32 {
+            let sy = y - dy;
+            let sx = x - dx;
+            if (0..8).contains(&sy) && (0..8).contains(&sx) {
+                let bit = (GLYPHS[d][sy as usize] >> (7 - sx)) & 1;
+                img[(y * 8 + x) as usize] = bit as f32;
+            }
+        }
+    }
+    img
+}
+
+/// Procedural digits: translated, noisy 8×8 glyph images of the ten
+/// digits. Inputs are 64-dimensional in `[0, 1]` (directly encodable on
+/// the photonic input lasers).
+pub fn synthetic_digits(per_class: usize, noise: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 10 * per_class;
+    let mut data = Vec::with_capacity(n * 64);
+    let mut labels = Vec::with_capacity(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    for &raw in &order {
+        let d = raw % 10;
+        labels.push(d);
+        let dx = rng.gen_range(-1i32..=1);
+        let dy = rng.gen_range(-1i32..=1);
+        let img = render_glyph(d, dx, dy);
+        for px in img {
+            let noisy = px + noise * rng.gen_range(-1.0f32..1.0);
+            data.push(noisy.clamp(0.0, 1.0));
+        }
+    }
+    Dataset { inputs: Tensor::from_vec(&[n, 64], data), labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_have_expected_shape_and_balance() {
+        let d = gaussian_blobs(4, 25, 6, 0.1, 7);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.features(), 6);
+        for class in 0..4 {
+            assert_eq!(d.labels.iter().filter(|&&l| l == class).count(), 25);
+        }
+    }
+
+    #[test]
+    fn blobs_are_seeded() {
+        let a = gaussian_blobs(2, 10, 3, 0.2, 11);
+        let b = gaussian_blobs(2, 10, 3, 0.2, 11);
+        assert_eq!(a.inputs.data(), b.inputs.data());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn digits_are_valid_images() {
+        let d = synthetic_digits(5, 0.1, 3);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.features(), 64);
+        assert!(d.inputs.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        for class in 0..10 {
+            assert_eq!(d.labels.iter().filter(|&&l| l == class).count(), 5);
+        }
+    }
+
+    #[test]
+    fn clean_glyphs_are_distinct() {
+        // No two digit glyphs may render identically (else the task is
+        // ill-posed).
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let ga = render_glyph(a, 0, 0);
+                let gb = render_glyph(b, 0, 0);
+                assert_ne!(ga, gb, "glyphs {a} and {b} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn shifted_glyph_preserves_ink() {
+        let base: f32 = render_glyph(3, 0, 0).iter().sum();
+        let shifted: f32 = render_glyph(3, 1, 0).iter().sum();
+        // Glyph column 7 is blank, so a right shift loses no ink.
+        assert_eq!(base, shifted);
+    }
+
+    #[test]
+    fn split_partitions_examples() {
+        let d = synthetic_digits(10, 0.0, 5);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.features(), 64);
+        // Round-trip: concatenated labels equal the originals.
+        let mut all = train.labels.clone();
+        all.extend_from_slice(&test.labels);
+        assert_eq!(all, d.labels);
+    }
+}

@@ -1,0 +1,48 @@
+//! # trident-nn
+//!
+//! Neural-network substrate for the Trident reproduction.
+//!
+//! The paper's functional story (Table II, Eqs. 1–3) is that one photonic
+//! PE can execute the three computations of backpropagation-based training:
+//! the forward MAC, the gradient-vector product, and the weight-update
+//! outer product. To *verify* that the photonic engine computes the right
+//! numbers, we need a trustworthy float reference: this crate.
+//!
+//! * [`tensor`] — a minimal dense tensor (row-major `f32`).
+//! * [`linalg`] — Rayon-parallel GEMM / GEMV / outer products.
+//! * [`init`] — seeded weight initialisers.
+//! * [`layers`] — dense, conv2d (im2col), pooling, activations, flatten,
+//!   each with forward *and* backward passes.
+//! * [`loss`] — softmax cross-entropy and MSE with gradients.
+//! * [`optim`] — SGD (Eq. 1 of the paper: `W ← W − β·δW`).
+//! * [`network`] — a sequential container wiring layers into a trainable
+//!   model.
+//! * [`quant`] — uniform fake-quantization used to emulate 4–10-bit
+//!   photonic weight resolution in the training ablations.
+//! * [`data`] — seeded synthetic datasets (procedural digit glyphs and
+//!   Gaussian blobs) so experiments run hermetically.
+
+#![warn(missing_docs)]
+// Index-heavy device/tensor kernels: explicit indices mirror the
+// row/column math in the comments better than iterator adaptors.
+#![allow(clippy::needless_range_loop)]
+#![deny(unsafe_code)]
+
+pub mod data;
+pub mod init;
+pub mod layers;
+pub mod linalg;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod optim;
+pub mod quant;
+pub mod tensor;
+
+pub use layers::{Activation, ActivationLayer, AvgPool2d, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d};
+pub use loss::{mse, softmax_cross_entropy};
+pub use metrics::{top_k_accuracy, ConfusionMatrix};
+pub use network::Sequential;
+pub use optim::Sgd;
+pub use quant::Quantizer;
+pub use tensor::Tensor;

@@ -1,0 +1,146 @@
+//! Rayon-parallel dense linear algebra.
+//!
+//! Per the session's HPC guides, the hot loops parallelise over output rows
+//! with `par_chunks_mut`, which keeps each thread writing a disjoint slice
+//! (data-race freedom by construction) and the inner loops contiguous for
+//! the autovectoriser.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Threshold below which GEMM stays sequential (threading overhead wins).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `C = A × B` for row-major matrices `A: [m, k]`, `B: [k, n]`.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let kernel = |row: &mut [f32], i: usize| {
+        let a_row = &a_data[i * k..(i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[p * n..(p + 1) * n];
+            for (c, &b_pc) in b_row.iter().enumerate() {
+                row[c] += a_ip * b_pc;
+            }
+        }
+    };
+
+    if m * n * k >= PAR_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| kernel(row, i));
+    } else {
+        for (i, row) in out.data_mut().chunks_mut(n).enumerate() {
+            kernel(row, i);
+        }
+    }
+    out
+}
+
+/// `y = A × x` for `A: [m, k]`, `x: [k]`.
+pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    assert_eq!(a.ndim(), 2, "matvec lhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    assert_eq!(x.len(), k, "matvec dimension mismatch");
+    (0..m)
+        .map(|i| a.row(i).iter().zip(x).map(|(&w, &xi)| w * xi).sum())
+        .collect()
+}
+
+/// Outer product `u ⊗ v` as an `[len(u), len(v)]` matrix.
+pub fn outer(u: &[f32], v: &[f32]) -> Tensor {
+    let mut out = Tensor::zeros(&[u.len(), v.len()]);
+    for (i, &ui) in u.iter().enumerate() {
+        let row = out.row_mut(i);
+        for (j, &vj) in v.iter().enumerate() {
+            row[j] = ui * vj;
+        }
+    }
+    out
+}
+
+/// Dot product.
+pub fn dot(u: &[f32], v: &[f32]) -> f32 {
+    assert_eq!(u.len(), v.len(), "dot dimension mismatch");
+    u.iter().zip(v).map(|(&a, &b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec(&[2, 2], vec![3., 1., 4., 1.]);
+        let eye = Tensor::from_vec(&[2, 2], vec![1., 0., 0., 1.]);
+        assert_eq!(matmul(&a, &eye).data(), a.data());
+    }
+
+    #[test]
+    fn large_matmul_parallel_matches_sequential_shape() {
+        // Exercise the parallel path and check against matvec per column.
+        let m = 80;
+        let k = 70;
+        let n = 90;
+        let a = Tensor::from_vec(&[m, k], (0..m * k).map(|x| (x % 13) as f32 * 0.1).collect());
+        let b = Tensor::from_vec(&[k, n], (0..k * n).map(|x| (x % 7) as f32 * 0.2).collect());
+        let c = matmul(&a, &b);
+        // Spot-check a handful of entries against explicit dot products.
+        for &(i, j) in &[(0, 0), (79, 89), (40, 45), (13, 71)] {
+            let col: Vec<f32> = (0..k).map(|p| b.at2(p, j)).collect();
+            let expected = dot(a.row(i), &col);
+            assert!((c.at2(i, j) - expected).abs() < 1e-3, "mismatch at ({i},{j})");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_rejects_mismatched_inner() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let x = [0.5, -1.0];
+        let y = matvec(&a, &x);
+        assert_eq!(y, vec![-1.5, -2.5, -3.5]);
+    }
+
+    #[test]
+    fn outer_product_shape_and_values() {
+        let o = outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(o.shape(), &[2, 3]);
+        assert_eq!(o.data(), &[3., 4., 5., 6., 8., 10.]);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]), 32.0);
+    }
+}

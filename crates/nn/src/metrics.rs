@@ -1,0 +1,173 @@
+//! Classification metrics: confusion matrices, top-k accuracy, per-class
+//! statistics — used by the training demos to report more than a single
+//! accuracy number.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A square confusion matrix: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix for `classes` classes.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes >= 1);
+        Self { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes && predicted < self.classes, "class out of range");
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / self.total() as f64
+    }
+
+    /// Recall of one class (0 when the class never occurs).
+    pub fn recall(&self, class: usize) -> f64 {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            return 0.0;
+        }
+        self.count(class, class) as f64 / row as f64
+    }
+
+    /// Precision of one class (0 when the class is never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let col: u64 = (0..self.classes).map(|a| self.count(a, class)).sum();
+        if col == 0 {
+            return 0.0;
+        }
+        self.count(class, class) as f64 / col as f64
+    }
+
+    /// Macro-averaged F1 score.
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        for c in 0..self.classes {
+            let p = self.precision(c);
+            let r = self.recall(c);
+            if p + r > 0.0 {
+                sum += 2.0 * p * r / (p + r);
+            }
+        }
+        sum / self.classes as f64
+    }
+
+    /// Build from parallel prediction/label slices.
+    pub fn from_predictions(classes: usize, predicted: &[usize], actual: &[usize]) -> Self {
+        assert_eq!(predicted.len(), actual.len());
+        let mut m = Self::new(classes);
+        for (&p, &a) in predicted.iter().zip(actual) {
+            m.record(a, p);
+        }
+        m
+    }
+}
+
+/// Top-k accuracy from a `[batch, classes]` logit matrix.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f64 {
+    assert_eq!(logits.ndim(), 2);
+    assert_eq!(logits.shape()[0], labels.len());
+    assert!(k >= 1);
+    let classes = logits.shape()[1];
+    let mut hits = 0;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let own = row[label];
+        // The label is in the top k when fewer than k classes strictly
+        // beat it.
+        let better = (0..classes).filter(|&c| row[c] > own).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(3, &[0, 1, 2, 0], &[0, 1, 2, 0]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        for c in 0..3 {
+            assert_eq!(m.recall(c), 1.0);
+            assert_eq!(m.precision(c), 1.0);
+        }
+    }
+
+    #[test]
+    fn known_confusion_counts() {
+        // actual 0 predicted 1 twice; everything else right.
+        let m = ConfusionMatrix::from_predictions(
+            2,
+            &[1, 1, 0, 1],
+            &[0, 0, 0, 1],
+        );
+        assert_eq!(m.count(0, 1), 2);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(1, 1), 1);
+        assert!((m.accuracy() - 0.5).abs() < 1e-12);
+        assert!((m.recall(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision(1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.recall(0), 0.0);
+        assert_eq!(m.precision(0), 0.0);
+    }
+
+    #[test]
+    fn top_k_grows_with_k() {
+        let logits = Tensor::from_vec(
+            &[2, 4],
+            vec![
+                0.9, 0.5, 0.2, 0.1, // label 2: third best → in top-3 only
+                0.8, 0.1, 0.0, 0.3, // label 0: best → in top-1
+            ],
+        );
+        let labels = [2usize, 0];
+        assert_eq!(top_k_accuracy(&logits, &labels, 1), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &labels, 2), 0.5);
+        assert_eq!(top_k_accuracy(&logits, &labels, 3), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn record_rejects_out_of_range() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Sequential model container: the float training reference.
+
+use crate::layers::Layer;
+use crate::loss::softmax_cross_entropy;
+use crate::optim::Sgd;
+use crate::tensor::Tensor;
+
+/// A stack of layers trained with backpropagation.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Access a layer by index (for weight export to the photonic engine).
+    pub fn layer(&self, idx: usize) -> &dyn Layer {
+        self.layers[idx].as_ref()
+    }
+
+    /// Mutable layer access.
+    pub fn layer_mut(&mut self, idx: usize) -> &mut (dyn Layer + 'static) {
+        self.layers[idx].as_mut()
+    }
+
+    /// Forward pass over a batch.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.layers.iter_mut().fold(x.clone(), |h, layer| layer.forward(&h))
+    }
+
+    /// Backward pass from an output gradient; returns the input gradient.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        self.layers.iter_mut().rev().fold(grad.clone(), |g, layer| layer.backward(&g))
+    }
+
+    /// Apply accumulated gradients.
+    pub fn update(&mut self, opt: &Sgd) {
+        for layer in &mut self.layers {
+            layer.update(opt);
+        }
+    }
+
+    /// One supervised step on a batch: forward, cross-entropy, backward,
+    /// update. Returns the batch loss.
+    pub fn train_step(&mut self, x: &Tensor, labels: &[usize], opt: &Sgd) -> f32 {
+        let logits = self.forward(x);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        self.backward(&grad);
+        self.update(opt);
+        loss
+    }
+
+    /// Predicted class per batch row.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward(x);
+        (0..logits.shape()[0])
+            .map(|r| {
+                let row = logits.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    /// Classification accuracy on a labelled batch.
+    pub fn accuracy(&mut self, x: &Tensor, labels: &[usize]) -> f64 {
+        let preds = self.predict(x);
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f64 / labels.len() as f64
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{gaussian_blobs, Dataset};
+    use crate::init::seeded_rng;
+    use crate::layers::{Activation, ActivationLayer, Dense};
+
+    fn tiny_mlp(seed: u64, inputs: usize, hidden: usize, classes: usize) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new()
+            .push(Dense::new(hidden, inputs, &mut rng))
+            .push(ActivationLayer::new(Activation::Relu))
+            .push(Dense::new(classes, hidden, &mut rng))
+    }
+
+    #[test]
+    fn network_shapes_flow() {
+        let mut net = tiny_mlp(1, 4, 8, 3);
+        let x = Tensor::zeros(&[5, 4]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[5, 3]);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.param_count(), 8 * 4 + 3 * 8);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_blobs() {
+        let data = gaussian_blobs(3, 60, 4, 0.3, 42);
+        let mut net = tiny_mlp(7, 4, 16, 3);
+        let opt = Sgd::new(0.1);
+        let first_loss = net.train_step(&data.inputs, &data.labels, &opt);
+        let mut last = first_loss;
+        for _ in 0..120 {
+            last = net.train_step(&data.inputs, &data.labels, &opt);
+        }
+        assert!(
+            last < first_loss * 0.3,
+            "loss should fall substantially: {first_loss} → {last}"
+        );
+        assert!(net.accuracy(&data.inputs, &data.labels) > 0.9);
+    }
+
+    #[test]
+    fn gst_activation_network_also_trains() {
+        // The paper's claim that the GST nonlinearity suffices for learning:
+        // same task, GST activation instead of ReLU.
+        let data = gaussian_blobs(3, 60, 4, 0.3, 43);
+        let mut rng = seeded_rng(9);
+        let mut net = Sequential::new()
+            .push(Dense::new(16, 4, &mut rng))
+            .push(ActivationLayer::new(Activation::gst_paper()))
+            .push(Dense::new(3, 16, &mut rng));
+        // The 0.34 slope attenuates signals; a higher lr compensates.
+        let opt = Sgd::new(0.3);
+        for _ in 0..200 {
+            net.train_step(&data.inputs, &data.labels, &opt);
+        }
+        assert!(
+            net.accuracy(&data.inputs, &data.labels) > 0.9,
+            "accuracy {}",
+            net.accuracy(&data.inputs, &data.labels)
+        );
+    }
+
+    #[test]
+    fn predict_agrees_with_argmax() {
+        let mut net = tiny_mlp(1, 2, 4, 2);
+        let x = Tensor::from_vec(&[1, 2], vec![0.3, -0.7]);
+        let logits = net.forward(&x);
+        let manual = if logits.at2(0, 0) >= logits.at2(0, 1) { 0 } else { 1 };
+        assert_eq!(net.predict(&x)[0], manual);
+    }
+
+    #[test]
+    fn conv_network_trains_on_digit_images() {
+        // End-to-end float CNN: conv → ReLU → pool → flatten → dense,
+        // trained on the synthetic digit images reshaped to 4-D.
+        use crate::data::synthetic_digits;
+        use crate::layers::{Conv2d, Flatten, MaxPool2d};
+        let data = synthetic_digits(4, 0.05, 21);
+        let n = data.len();
+        let images = data.inputs.clone().reshape(&[n, 1, 8, 8]);
+        let mut rng = seeded_rng(3);
+        let mut net = Sequential::new()
+            .push(Conv2d::new(6, 1, 3, 1, 1, &mut rng))
+            .push(ActivationLayer::new(Activation::Relu))
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten::new())
+            .push(Dense::new(10, 6 * 4 * 4, &mut rng));
+        let opt = Sgd::new(0.3);
+        let first = net.train_step(&images, &data.labels, &opt);
+        let mut last = first;
+        for _ in 0..60 {
+            last = net.train_step(&images, &data.labels, &opt);
+        }
+        assert!(last < first * 0.5, "CNN loss should halve: {first} -> {last}");
+        assert!(
+            net.accuracy(&images, &data.labels) > 0.8,
+            "CNN accuracy {}",
+            net.accuracy(&images, &data.labels)
+        );
+    }
+
+    #[test]
+    fn dataset_helper_is_consistent() {
+        let Dataset { inputs, labels } = gaussian_blobs(2, 10, 3, 0.1, 1);
+        assert_eq!(inputs.shape(), &[20, 3]);
+        assert_eq!(labels.len(), 20);
+    }
+}

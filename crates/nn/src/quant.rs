@@ -1,0 +1,139 @@
+//! Uniform fake-quantization.
+//!
+//! Photonic weight banks hold a finite number of levels: 255 (8 bits) for
+//! GST tuning, ~63 (6 bits) for thermally tuned rings (§II-B). Training
+//! ablations emulate a given hardware resolution by *fake-quantizing*
+//! weights to the device grid after every update — exactly what happens
+//! physically when the weight-update matrix is programmed back into the
+//! bank. The paper's central training claim (8 bits train, 6 bits don't,
+//! citing Wang et al. \[34\]) is reproduced by sweeping this quantizer.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Symmetric uniform quantizer over `[-range, range]`.
+///
+/// ```
+/// use trident_nn::quant::Quantizer;
+///
+/// let q = Quantizer::photonic(8);
+/// assert_eq!(q.levels(), 255);
+/// assert_eq!(q.quantize(0.0), 0.0);
+/// assert!((q.quantize(0.7) - 0.7).abs() <= q.max_error());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    /// Bit resolution; `2^bits − 1` levels (odd count → exact zero level).
+    pub bits: u8,
+    /// Symmetric full-scale range.
+    pub range: f32,
+}
+
+impl Quantizer {
+    /// Quantizer over the photonic weight range `[-1, 1]`.
+    pub fn photonic(bits: u8) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        Self { bits, range: 1.0 }
+    }
+
+    /// Number of representable levels.
+    pub fn levels(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Quantization step between adjacent levels.
+    pub fn step(&self) -> f32 {
+        2.0 * self.range / (self.levels() - 1) as f32
+    }
+
+    /// Quantize one value (clamps to the range first).
+    #[inline]
+    pub fn quantize(&self, x: f32) -> f32 {
+        let clamped = x.clamp(-self.range, self.range);
+        let step = self.step();
+        (clamped / step).round() * step
+    }
+
+    /// Quantize a tensor element-wise into a new tensor.
+    pub fn quantize_tensor(&self, t: &Tensor) -> Tensor {
+        t.map(|x| self.quantize(x))
+    }
+
+    /// Quantize a tensor in place.
+    pub fn quantize_in_place(&self, t: &mut Tensor) {
+        for v in t.data_mut() {
+            *v = self.quantize(*v);
+        }
+    }
+
+    /// Worst-case rounding error for in-range inputs (half a step).
+    pub fn max_error(&self) -> f32 {
+        self.step() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_has_255_levels() {
+        let q = Quantizer::photonic(8);
+        assert_eq!(q.levels(), 255);
+        assert!((q.step() - 2.0 / 254.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_is_exactly_representable() {
+        for bits in [4, 6, 8, 10] {
+            let q = Quantizer::photonic(bits);
+            assert_eq!(q.quantize(0.0), 0.0);
+            assert_eq!(q.quantize(q.step() * 0.49), 0.0);
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let q = Quantizer::photonic(8);
+        assert_eq!(q.quantize(5.0), 1.0);
+        assert_eq!(q.quantize(-5.0), -1.0);
+    }
+
+    #[test]
+    fn error_is_bounded_by_half_step() {
+        let q = Quantizer::photonic(6);
+        for i in 0..=1000 {
+            let x = -1.0 + 2.0 * i as f32 / 1000.0;
+            assert!((q.quantize(x) - x).abs() <= q.max_error() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        assert!(Quantizer::photonic(8).max_error() < Quantizer::photonic(6).max_error());
+        assert!(Quantizer::photonic(6).max_error() < Quantizer::photonic(4).max_error());
+    }
+
+    #[test]
+    fn quantized_values_are_idempotent() {
+        let q = Quantizer::photonic(5);
+        for i in 0..=100 {
+            let x = -1.0 + 2.0 * i as f32 / 100.0;
+            let once = q.quantize(x);
+            assert_eq!(q.quantize(once), once);
+        }
+    }
+
+    #[test]
+    fn tensor_quantization_matches_scalar() {
+        let q = Quantizer::photonic(4);
+        let t = Tensor::from_slice(&[0.3, -0.71, 0.999]);
+        let qt = q.quantize_tensor(&t);
+        for (orig, quant) in t.data().iter().zip(qt.data()) {
+            assert_eq!(*quant, q.quantize(*orig));
+        }
+        let mut inplace = t.clone();
+        q.quantize_in_place(&mut inplace);
+        assert_eq!(inplace.data(), qt.data());
+    }
+}

@@ -1,0 +1,386 @@
+//! The Ge₂Sb₂Te₅ material model.
+//!
+//! GST switches between an *amorphous* phase (optically transmissive —
+//! "large weight") and a *crystalline* phase (absorbing — "small weight"),
+//! with 255 stable intermediate states addressable by optical pulse trains
+//! (Chen et al. 2022, reference \[5\] of the paper). The transition is
+//! non-volatile for ~10 years and endures ~10¹² cycles (Kuzum et al.,
+//! reference \[17\]).
+//!
+//! Energetics follow Table I / §III-B of the paper:
+//! * write: ≥ 660 pJ pulse, 300 ns to settle,
+//! * read: ~20 pJ probe pulse,
+//! * hold: zero — this is the property the whole architecture leans on.
+
+use serde::{Deserialize, Serialize};
+use trident_photonics::units::{EnergyPj, Nanoseconds};
+
+/// Device-level constants for a GST cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GstParameters {
+    /// Number of programmable crystallinity levels (255 → 8-bit).
+    pub levels: u16,
+    /// Energy of one programming pulse.
+    pub write_energy: EnergyPj,
+    /// Settling time of a programming event.
+    pub write_time: Nanoseconds,
+    /// Energy of one read probe pulse.
+    pub read_energy: EnergyPj,
+    /// Amplitude transmission of the cell when fully amorphous.
+    pub amorphous_amplitude: f64,
+    /// Amplitude transmission of the cell when fully crystalline.
+    pub crystalline_amplitude: f64,
+    /// Switching cycles before wear-out.
+    pub endurance_cycles: u64,
+    /// Retention of a programmed state, in years.
+    pub retention_years: f64,
+}
+
+impl Default for GstParameters {
+    fn default() -> Self {
+        Self {
+            levels: 255,
+            write_energy: EnergyPj(660.0),
+            write_time: Nanoseconds(300.0),
+            read_energy: EnergyPj(20.0),
+            amorphous_amplitude: 0.995,
+            crystalline_amplitude: 0.25,
+            endurance_cycles: 1_000_000_000_000,
+            retention_years: 10.0,
+        }
+    }
+}
+
+impl GstParameters {
+    /// Bit resolution implied by the level count.
+    pub fn bits(&self) -> u8 {
+        (self.levels as f64 + 1.0).log2().round() as u8
+    }
+
+    /// Fractional crystallinity drift accumulated over one rated
+    /// retention period: half an LSB of the level grid, so a stored state
+    /// remains distinguishable for exactly the rated lifetime.
+    pub fn drift_per_decade(&self) -> f64 {
+        0.5 / (self.levels - 1) as f64
+    }
+
+    /// Amplitude transmission at crystallinity `c ∈ [0, 1]`.
+    ///
+    /// The absorption coefficient interpolates linearly between phases, so
+    /// the *amplitude* (an exponential of absorption × length) interpolates
+    /// geometrically.
+    pub fn amplitude_at(&self, crystallinity: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&crystallinity),
+            "crystallinity {crystallinity} outside [0, 1]"
+        );
+        self.amorphous_amplitude
+            * (self.crystalline_amplitude / self.amorphous_amplitude).powf(crystallinity)
+    }
+}
+
+/// One stateful GST cell.
+///
+/// The cell tracks its programmed level, the physical crystallinity that
+/// level corresponds to, the cumulative energy spent programming/reading
+/// it, and its switching-cycle wear.
+///
+/// Two programming modes are provided:
+/// * [`GstCell::program`] — levels uniformly spaced in crystallinity (the
+///   raw device grid);
+/// * [`GstCell::program_calibrated`] — a program-and-verify write to an
+///   arbitrary crystallinity associated with a level index. This is how
+///   the weight bank realises levels uniform in *weight* space (see
+///   `crate::weight::WeightLut`), matching the per-level calibration used
+///   by multi-level PCM demonstrations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GstCell {
+    params: GstParameters,
+    /// Current level index, `0 = fully amorphous … levels-1 = fully
+    /// crystalline` (or a calibrated level's index).
+    level: u16,
+    /// Physical crystallinity fraction the cell currently holds.
+    crystallinity: f64,
+    writes: u64,
+    reads: u64,
+    energy_spent: EnergyPj,
+}
+
+impl GstCell {
+    /// A fresh cell in the fully amorphous (transparent) state.
+    pub fn new(params: GstParameters) -> Self {
+        assert!(params.levels >= 2, "a GST cell needs at least 2 levels");
+        assert!(
+            params.crystalline_amplitude < params.amorphous_amplitude,
+            "crystalline GST must absorb more than amorphous"
+        );
+        Self { params, level: 0, crystallinity: 0.0, writes: 0, reads: 0, energy_spent: EnergyPj::ZERO }
+    }
+
+    /// A fresh cell with the paper's default parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(GstParameters::default())
+    }
+
+    /// Device constants.
+    #[inline]
+    pub fn params(&self) -> &GstParameters {
+        &self.params
+    }
+
+    /// Current quantized level (0 = amorphous).
+    #[inline]
+    pub fn level(&self) -> u16 {
+        self.level
+    }
+
+    /// Current crystallinity fraction in `[0, 1]`.
+    #[inline]
+    pub fn crystallinity(&self) -> f64 {
+        self.crystallinity
+    }
+
+    /// Amplitude transmission of the cell in its current state.
+    #[inline]
+    pub fn amplitude(&self) -> f64 {
+        self.params.amplitude_at(self.crystallinity())
+    }
+
+    /// Program the cell to `level`, spending one write pulse if the level
+    /// actually changes. Returns the energy spent (zero for a no-op — the
+    /// non-volatile state needs no refresh).
+    ///
+    /// # Panics
+    /// Panics if `level` is out of range or the cell is worn out.
+    pub fn program(&mut self, level: u16) -> EnergyPj {
+        assert!(level < self.params.levels, "level {level} out of range");
+        let crystallinity = level as f64 / (self.params.levels - 1) as f64;
+        self.write(level, crystallinity)
+    }
+
+    /// Program-and-verify write: set the cell to `crystallinity`, recording
+    /// it as calibrated level `level`. Costs one write pulse when the level
+    /// changes.
+    ///
+    /// # Panics
+    /// Panics if the level or crystallinity is out of range, or the cell
+    /// is worn out.
+    pub fn program_calibrated(&mut self, level: u16, crystallinity: f64) -> EnergyPj {
+        assert!(level < self.params.levels, "level {level} out of range");
+        assert!(
+            (0.0..=1.0).contains(&crystallinity),
+            "crystallinity {crystallinity} outside [0, 1]"
+        );
+        self.write(level, crystallinity)
+    }
+
+    fn write(&mut self, level: u16, crystallinity: f64) -> EnergyPj {
+        if level == self.level && (crystallinity - self.crystallinity).abs() < 1e-12 {
+            return EnergyPj::ZERO;
+        }
+        assert!(
+            !self.is_worn_out(),
+            "GST cell exceeded its {} cycle endurance",
+            self.params.endurance_cycles
+        );
+        self.level = level;
+        self.crystallinity = crystallinity;
+        self.writes += 1;
+        self.energy_spent += self.params.write_energy;
+        self.params.write_energy
+    }
+
+    /// Program to the nearest level for a crystallinity fraction.
+    pub fn program_fraction(&mut self, crystallinity: f64) -> EnergyPj {
+        assert!(
+            (0.0..=1.0).contains(&crystallinity),
+            "crystallinity {crystallinity} outside [0, 1]"
+        );
+        let level = (crystallinity * (self.params.levels - 1) as f64).round() as u16;
+        self.program(level)
+    }
+
+    /// Read the cell with a low-power probe pulse. Returns the amplitude
+    /// transmission; reading is non-destructive but costs energy.
+    pub fn read(&mut self) -> f64 {
+        self.reads += 1;
+        self.energy_spent += self.params.read_energy;
+        self.amplitude()
+    }
+
+    /// Number of programming events so far.
+    #[inline]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of read probes so far.
+    #[inline]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total optical energy delivered to the cell.
+    #[inline]
+    pub fn energy_spent(&self) -> EnergyPj {
+        self.energy_spent
+    }
+
+    /// Remaining endurance cycles.
+    pub fn endurance_remaining(&self) -> u64 {
+        self.params.endurance_cycles.saturating_sub(self.writes)
+    }
+
+    /// True once the cell has consumed its endurance budget.
+    pub fn is_worn_out(&self) -> bool {
+        self.writes >= self.params.endurance_cycles
+    }
+
+    /// Age the cell by `years`: amorphous marks relax toward the
+    /// crystalline ground state (structural relaxation / drift). The decay
+    /// constant is set so the state stays within half an 8-bit LSB over
+    /// the rated retention — the device-physics meaning of "non-volatile
+    /// for up to 10 years".
+    pub fn age(&mut self, years: f64) {
+        assert!(years >= 0.0, "cannot age backwards");
+        let drift = self.params.drift_per_decade() * (years / self.params.retention_years);
+        self.crystallinity = (self.crystallinity + drift * (1.0 - self.crystallinity)).min(1.0);
+    }
+
+    /// Drift of the stored level in LSBs after `years` (for a fresh copy;
+    /// non-destructive query).
+    pub fn projected_drift_lsb(&self, years: f64) -> f64 {
+        let mut aged = self.clone();
+        aged.age(years);
+        (aged.crystallinity() - self.crystallinity()).abs() * (self.params.levels - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_parameters_match_paper() {
+        let p = GstParameters::default();
+        assert_eq!(p.levels, 255);
+        assert_eq!(p.bits(), 8);
+        assert_eq!(p.write_energy, EnergyPj(660.0));
+        assert_eq!(p.write_time, Nanoseconds(300.0));
+        assert_eq!(p.read_energy, EnergyPj(20.0));
+        assert_eq!(p.retention_years, 10.0);
+        assert_eq!(p.endurance_cycles, 1_000_000_000_000);
+    }
+
+    #[test]
+    fn amplitude_decreases_with_crystallinity() {
+        let p = GstParameters::default();
+        let mut last = f64::INFINITY;
+        for i in 0..=10 {
+            let a = p.amplitude_at(i as f64 / 10.0);
+            assert!(a < last, "amplitude must fall monotonically");
+            assert!((0.0..=1.0).contains(&a));
+            last = a;
+        }
+        assert!((p.amplitude_at(0.0) - p.amorphous_amplitude).abs() < 1e-12);
+        assert!((p.amplitude_at(1.0) - p.crystalline_amplitude).abs() < 1e-12);
+    }
+
+    #[test]
+    fn programming_costs_energy_only_on_change() {
+        let mut c = GstCell::with_defaults();
+        assert_eq!(c.program(100), EnergyPj(660.0));
+        assert_eq!(c.program(100), EnergyPj::ZERO, "re-programming same level is free");
+        assert_eq!(c.write_count(), 1);
+        assert_eq!(c.program(0), EnergyPj(660.0));
+        assert_eq!(c.write_count(), 2);
+        assert_eq!(c.energy_spent(), EnergyPj(1320.0));
+    }
+
+    #[test]
+    fn fraction_programming_quantizes() {
+        let mut c = GstCell::with_defaults();
+        c.program_fraction(0.5);
+        assert_eq!(c.level(), 127);
+        // Round-trip error is bounded by half an LSB.
+        assert!((c.crystallinity() - 0.5).abs() <= 0.5 / 254.0);
+    }
+
+    #[test]
+    fn reads_are_nondestructive_but_cost_energy() {
+        let mut c = GstCell::with_defaults();
+        c.program(200);
+        let before = c.level();
+        let a1 = c.read();
+        let a2 = c.read();
+        assert_eq!(c.level(), before);
+        assert_eq!(a1, a2);
+        assert_eq!(c.read_count(), 2);
+        assert_eq!(c.energy_spent(), EnergyPj(660.0 + 40.0));
+    }
+
+    #[test]
+    fn endurance_depletes_with_writes() {
+        let params = GstParameters { endurance_cycles: 3, ..GstParameters::default() };
+        let mut c = GstCell::new(params);
+        c.program(1);
+        c.program(2);
+        c.program(3);
+        assert!(c.is_worn_out());
+        assert_eq!(c.endurance_remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worn_cell_refuses_writes() {
+        let params = GstParameters { endurance_cycles: 1, ..GstParameters::default() };
+        let mut c = GstCell::new(params);
+        c.program(1);
+        c.program(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_level_rejected() {
+        GstCell::with_defaults().program(255);
+    }
+
+    #[test]
+    fn retention_holds_within_half_lsb_for_ten_years() {
+        // §III-B: "non-volatile for up to 10 years" — at the rated
+        // lifetime the stored level has drifted at most half an 8-bit
+        // step, so every level remains distinguishable.
+        let mut c = GstCell::with_defaults();
+        c.program(100);
+        assert!(c.projected_drift_lsb(10.0) <= 0.5 + 1e-9);
+        assert!(c.projected_drift_lsb(1.0) < 0.1);
+        // Far beyond the rating the state decays measurably.
+        assert!(c.projected_drift_lsb(100.0) > 2.0);
+    }
+
+    #[test]
+    fn aging_moves_toward_crystalline_only() {
+        let mut amorphous = GstCell::with_defaults();
+        amorphous.program(0);
+        let before = amorphous.crystallinity();
+        amorphous.age(10.0);
+        assert!(amorphous.crystallinity() >= before, "drift recrystallizes");
+
+        let mut crystalline = GstCell::with_defaults();
+        crystalline.program(254);
+        crystalline.age(50.0);
+        assert!(
+            (crystalline.crystallinity() - 1.0).abs() < 1e-9,
+            "the crystalline ground state is stable"
+        );
+    }
+
+    #[test]
+    fn trillion_cycle_endurance_outlives_training() {
+        // §III-C: "endurance is not a concern" — check the arithmetic:
+        // training 50k images × hundreds of epochs × one activation switch
+        // per image stays far below 1e12.
+        let cycles_per_training_run = 50_000u64 * 300; // images × epochs
+        assert!(GstParameters::default().endurance_cycles / cycles_per_training_run > 10_000);
+    }
+}

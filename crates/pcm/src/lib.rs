@@ -1,0 +1,32 @@
+//! # trident-pcm
+//!
+//! Ge₂Sb₂Te₅ (GST) phase-change material models for the Trident
+//! reproduction. The paper uses PCM for two distinct purposes and this
+//! crate provides both:
+//!
+//! * [`gst`] — the material itself: a reprogrammable, non-volatile
+//!   crystallinity state with 255 optically addressable levels (8 bits),
+//!   660 pJ / 300 ns writes, 20 pJ reads, ~10-year retention and
+//!   10¹²-cycle endurance.
+//! * [`weight`] — a GST cell embedded in an add-drop microring: the
+//!   PCM-MRR weight unit of the Trident weight bank, mapping signed neural
+//!   weights `w ∈ [-1, 1]` onto balanced drop/through transmission.
+//! * [`activation`] — the GST activation cell of Fig. 2e / Fig. 3: a 60 µm
+//!   ring with GST at the waveguide crossing whose switching threshold
+//!   realises a ReLU-like optical nonlinearity, plus its reset cycle.
+//! * [`ldsu`] — the Linear Derivative Storage Unit (Fig. 2d): an analog
+//!   comparator and a D-flip-flop per row that capture `f'(h)` during the
+//!   forward pass so the backward pass never touches memory.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod activation;
+pub mod gst;
+pub mod ldsu;
+pub mod weight;
+
+pub use activation::{fig3_curve, ActivationCellParams, GstActivationCell, GstRelu};
+pub use gst::{GstCell, GstParameters};
+pub use ldsu::Ldsu;
+pub use weight::{PcmMrr, WeightLut};

@@ -1,0 +1,373 @@
+//! The PCM-MRR weight unit: a GST cell embedded in an add-drop microring.
+//!
+//! §III-B of the paper: the GST acts as an intra-cavity attenuator; it does
+//! *not* shift the resonance. With the ring exactly on its channel, the
+//! crystallinity sets the split between the drop port (positive rail of the
+//! balanced detector) and the through port (negative rail), so one ring
+//! encodes a signed weight
+//!
+//! ```text
+//! w_raw(c) = T_drop(c) - T_through(c)
+//! ```
+//!
+//! A [`WeightLut`] calibrates this curve once per (geometry, channel)
+//! pair. The physical `w_raw(c)` curve is steep near the amorphous end
+//! (the ring operates close to critical coupling), so levels uniform in
+//! crystallinity would waste most of the 8-bit budget. Real multi-level
+//! PCM programming solves this with *program-and-verify*: each of the 255
+//! levels targets a weight uniformly spaced over the usable symmetric
+//! range, and the crystallinity achieving it is found by iterative
+//! write/read pulses. The LUT performs that calibration by bisecting the
+//! monotone physics curve, yielding uniform 8-bit weights whose LSB the
+//! property tests bound.
+
+use crate::gst::{GstCell, GstParameters};
+use serde::{Deserialize, Serialize};
+use trident_photonics::mrr::{AddDropMrr, PortTransfer};
+use trident_photonics::units::{EnergyPj, Wavelength};
+
+/// Calibration table from target weight to (GST level, crystallinity) for
+/// one ring design.
+///
+/// Build one per bank and share it across all rings with the same geometry
+/// (the table depends only on the ring design, not per-ring state).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightLut {
+    /// Achieved raw weight `T_drop - T_through` for each level, uniformly
+    /// spaced and monotone decreasing in the level index.
+    raw_by_level: Vec<f64>,
+    /// Calibrated crystallinity realising each level.
+    crystallinity_by_level: Vec<f64>,
+    /// Scale applied to normalized weights: `w_raw = scale * w`.
+    scale: f64,
+}
+
+impl WeightLut {
+    /// Calibrate the weight curve of `ring` with GST `params` at the ring's
+    /// own resonant wavelength.
+    pub fn build(ring: &AddDropMrr, params: &GstParameters) -> Self {
+        let raw_of = |c: f64| {
+            let t = ring.transfer_on_resonance(params.amplitude_at(c));
+            t.drop - t.through
+        };
+        let max = raw_of(0.0);
+        let min = raw_of(1.0);
+        assert!(
+            max > 0.0 && min < 0.0,
+            "ring design cannot encode signed weights: raw range [{min}, {max}]"
+        );
+        // Symmetric full scale: |w| = 1 must be reachable on both signs.
+        let scale = max.min(-min);
+        let levels = params.levels as usize;
+        let mut raw_by_level = Vec::with_capacity(levels);
+        let mut crystallinity_by_level = Vec::with_capacity(levels);
+        for lvl in 0..levels {
+            // Level 0 = +scale (most amorphous used), last = -scale.
+            let target = scale - 2.0 * scale * lvl as f64 / (levels - 1) as f64;
+            // Bisect: raw_of is strictly decreasing in crystallinity.
+            let (mut lo, mut hi) = (0.0f64, 1.0f64);
+            for _ in 0..60 {
+                let mid = 0.5 * (lo + hi);
+                if raw_of(mid) > target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            let c = 0.5 * (lo + hi);
+            raw_by_level.push(raw_of(c));
+            crystallinity_by_level.push(c);
+        }
+        Self { raw_by_level, crystallinity_by_level, scale }
+    }
+
+    /// Number of levels.
+    #[inline]
+    pub fn levels(&self) -> u16 {
+        self.raw_by_level.len() as u16
+    }
+
+    /// The optical scale factor `s` in `w_raw = s * w`. The readout divides
+    /// detected currents by this to recover normalized weights.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Raw weight achieved at a level.
+    #[inline]
+    pub fn raw_at(&self, level: u16) -> f64 {
+        self.raw_by_level[level as usize]
+    }
+
+    /// Calibrated crystallinity for a level.
+    #[inline]
+    pub fn crystallinity_at(&self, level: u16) -> f64 {
+        self.crystallinity_by_level[level as usize]
+    }
+
+    /// Normalized weight achieved at a level.
+    #[inline]
+    pub fn weight_at(&self, level: u16) -> f64 {
+        self.raw_at(level) / self.scale
+    }
+
+    /// Level whose achieved weight is nearest to `w`.
+    ///
+    /// The raw curve is monotone decreasing, so binary search applies.
+    ///
+    /// # Panics
+    /// Panics if `w` is outside `[-1, 1]`.
+    pub fn level_for(&self, w: f64) -> u16 {
+        assert!((-1.0..=1.0).contains(&w), "weight {w} outside [-1, 1]");
+        let target = w * self.scale;
+        let v = &self.raw_by_level;
+        // partition_point: first index whose raw value is <= target
+        // (values are decreasing).
+        let idx = v.partition_point(|&raw| raw > target);
+        let candidates = [idx.saturating_sub(1), idx.min(v.len() - 1)];
+        let best = candidates
+            .into_iter()
+            .min_by(|&a, &b| {
+                (v[a] - target).abs().partial_cmp(&(v[b] - target).abs()).unwrap()
+            })
+            .unwrap();
+        best as u16
+    }
+
+    /// Worst-case quantization error (in normalized weight units) over a
+    /// uniform sweep of `samples` target weights.
+    pub fn max_quantization_error(&self, samples: usize) -> f64 {
+        (0..samples)
+            .map(|i| {
+                let w = -1.0 + 2.0 * i as f64 / (samples - 1) as f64;
+                (self.weight_at(self.level_for(w)) - w).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One weight unit of the bank: an add-drop ring with an embedded GST cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcmMrr {
+    ring: AddDropMrr,
+    cell: GstCell,
+}
+
+impl PcmMrr {
+    /// Assemble a weight unit from a ring and a fresh GST cell.
+    pub fn new(ring: AddDropMrr, params: GstParameters) -> Self {
+        Self { ring, cell: GstCell::new(params) }
+    }
+
+    /// The underlying ring.
+    #[inline]
+    pub fn ring(&self) -> &AddDropMrr {
+        &self.ring
+    }
+
+    /// The embedded GST cell.
+    #[inline]
+    pub fn cell(&self) -> &GstCell {
+        &self.cell
+    }
+
+    /// Program a normalized weight through `lut` (a calibrated
+    /// program-and-verify write). Returns the optical write energy spent
+    /// (zero when the level is unchanged — non-volatility).
+    pub fn set_weight(&mut self, w: f64, lut: &WeightLut) -> EnergyPj {
+        let level = lut.level_for(w);
+        self.cell.program_calibrated(level, lut.crystallinity_at(level))
+    }
+
+    /// The normalized weight currently programmed.
+    pub fn weight(&self, lut: &WeightLut) -> f64 {
+        lut.weight_at(self.cell.level())
+    }
+
+    /// Optical response at wavelength `λ` with the current GST state.
+    pub fn transfer(&self, lambda: Wavelength) -> PortTransfer {
+        self.ring.transfer(lambda, self.cell.amplitude())
+    }
+
+    /// Optical response exactly on the ring's channel.
+    pub fn transfer_on_resonance(&self) -> PortTransfer {
+        self.ring.transfer_on_resonance(self.cell.amplitude())
+    }
+
+    /// Cumulative optical energy delivered to this unit.
+    pub fn energy_spent(&self) -> EnergyPj {
+        self.cell.energy_spent()
+    }
+
+    /// Number of reprogramming events.
+    pub fn write_count(&self) -> u64 {
+        self.cell.write_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trident_photonics::mrr::MrrGeometry;
+
+    fn ring() -> AddDropMrr {
+        AddDropMrr::new(MrrGeometry::weight_bank(), Wavelength::from_nm(1550.0))
+    }
+
+    fn lut() -> WeightLut {
+        WeightLut::build(&ring(), &GstParameters::default())
+    }
+
+    const LSB: f64 = 2.0 / 254.0;
+
+    #[test]
+    fn lut_is_monotone_decreasing() {
+        let l = lut();
+        for i in 1..l.levels() {
+            assert!(
+                l.raw_at(i) < l.raw_at(i - 1),
+                "raw weight must decrease with level at level {i}"
+            );
+            assert!(
+                l.crystallinity_at(i) > l.crystallinity_at(i - 1),
+                "crystallinity must increase with level at level {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn lut_spans_signed_weights_uniformly() {
+        let l = lut();
+        assert!((l.weight_at(0) - 1.0).abs() < 1e-6, "level 0 is w=+1, got {}", l.weight_at(0));
+        assert!(
+            (l.weight_at(l.levels() - 1) + 1.0).abs() < 1e-6,
+            "last level is w=-1, got {}",
+            l.weight_at(l.levels() - 1)
+        );
+        // Uniform spacing: every adjacent pair differs by one LSB.
+        for i in 1..l.levels() {
+            let step = l.weight_at(i - 1) - l.weight_at(i);
+            assert!((step - LSB).abs() < 1e-6, "level {i} step {step} vs LSB {LSB}");
+        }
+    }
+
+    #[test]
+    fn scale_is_physical() {
+        let l = lut();
+        assert!(l.scale() > 0.2 && l.scale() < 1.0, "scale {}", l.scale());
+    }
+
+    #[test]
+    fn quantization_error_is_at_most_half_lsb() {
+        let l = lut();
+        let err = l.max_quantization_error(2001);
+        assert!(err <= 0.5 * LSB + 1e-6, "max quantization error {err} vs half-LSB {}", 0.5 * LSB);
+    }
+
+    #[test]
+    fn level_lookup_inverts_weight() {
+        let l = lut();
+        for lvl in [0u16, 1, 63, 127, 200, 254] {
+            let w = l.weight_at(lvl);
+            assert_eq!(l.level_for(w), lvl, "round-trip failed at level {lvl}");
+        }
+    }
+
+    #[test]
+    fn extreme_weights_hit_extreme_levels() {
+        let l = lut();
+        assert_eq!(l.level_for(1.0), 0, "w=+1 is the most amorphous calibrated level");
+        assert_eq!(l.level_for(-1.0), l.levels() - 1);
+        assert_eq!(l.level_for(0.0), (l.levels() - 1) / 2, "w=0 is the middle level");
+    }
+
+    #[test]
+    fn set_weight_round_trips_within_half_lsb() {
+        let l = lut();
+        let mut unit = PcmMrr::new(ring(), GstParameters::default());
+        for &w in &[0.75, -0.3, 0.0, 1.0, -1.0, 0.123] {
+            unit.set_weight(w, &l);
+            assert!(
+                (unit.weight(&l) - w).abs() <= 0.5 * LSB + 1e-6,
+                "w={w} read back as {}",
+                unit.weight(&l)
+            );
+        }
+    }
+
+    #[test]
+    fn reprogramming_same_weight_is_free() {
+        let l = lut();
+        let mut unit = PcmMrr::new(ring(), GstParameters::default());
+        let e1 = unit.set_weight(0.5, &l);
+        let e2 = unit.set_weight(0.5, &l);
+        assert!(e1.value() > 0.0);
+        assert_eq!(e2, EnergyPj::ZERO);
+        assert_eq!(unit.write_count(), 1);
+    }
+
+    #[test]
+    fn balanced_transfer_matches_programmed_weight() {
+        let l = lut();
+        let mut unit = PcmMrr::new(ring(), GstParameters::default());
+        for &w in &[0.4, -0.8, 0.05] {
+            unit.set_weight(w, &l);
+            let t = unit.transfer_on_resonance();
+            let raw = t.drop - t.through;
+            assert!(
+                (raw / l.scale() - w).abs() <= LSB,
+                "optical raw weight {} disagrees with programmed {w}",
+                raw / l.scale()
+            );
+        }
+    }
+
+    #[test]
+    fn off_resonance_input_mostly_ignored() {
+        let l = lut();
+        let mut unit = PcmMrr::new(ring(), GstParameters::default());
+        unit.set_weight(1.0, &l);
+        let t = unit.transfer(Wavelength::from_nm(1551.6));
+        assert!(t.through > 0.9, "neighbouring channel should pass through");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use trident_photonics::mrr::MrrGeometry;
+
+    fn shared_lut() -> &'static WeightLut {
+        use std::sync::OnceLock;
+        static LUT: OnceLock<WeightLut> = OnceLock::new();
+        LUT.get_or_init(|| {
+            let ring =
+                AddDropMrr::new(MrrGeometry::weight_bank(), Wavelength::from_nm(1550.0));
+            WeightLut::build(&ring, &GstParameters::default())
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn any_weight_round_trips_within_half_lsb(w in -1.0f64..=1.0) {
+            let lut = shared_lut();
+            let got = lut.weight_at(lut.level_for(w));
+            prop_assert!((got - w).abs() <= 0.5 * 2.0 / 254.0 + 1e-6);
+        }
+
+        #[test]
+        fn transfer_stays_physical(w in -1.0f64..=1.0, detune in -2.0f64..=2.0) {
+            let lut = shared_lut();
+            let ring =
+                AddDropMrr::new(MrrGeometry::weight_bank(), Wavelength::from_nm(1550.0));
+            let mut unit = PcmMrr::new(ring, GstParameters::default());
+            unit.set_weight(w, lut);
+            let t = unit.transfer(Wavelength::from_nm(1550.0 + detune));
+            prop_assert!(t.drop >= 0.0 && t.drop <= 1.0);
+            prop_assert!(t.through >= 0.0 && t.through <= 1.0);
+            prop_assert!(t.drop + t.through <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Mach-Zehnder modulators (MZMs).
+//!
+//! PIXEL — one of the paper's photonic baselines — accumulates partial
+//! products with MZMs instead of balanced photodetection, and the paper
+//! calls them out as "power-hungry" (§V-A) and area-hungry (§VI, on the
+//! MZM-mesh design of Hughes et al.). This model provides the transfer
+//! function and the power/area numbers those comparisons rest on.
+//!
+//! An MZM splits light into two arms, phase-shifts one by
+//! `φ = π·V/V_π`, and recombines: the output intensity follows
+//! `cos²(φ/2)`.
+
+use crate::units::{AreaUm2, PowerMw};
+use serde::{Deserialize, Serialize};
+
+/// A Mach-Zehnder intensity modulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachZehnder {
+    /// Half-wave voltage `V_π` (volts).
+    pub v_pi: f64,
+    /// Arm length in micrometres (sets the footprint — MZMs are
+    /// millimetre-scale next to ~10 µm rings, the §VI area argument).
+    pub arm_length_um: f64,
+    /// Insertion loss in dB.
+    pub insertion_loss_db: f64,
+    /// Static bias power.
+    pub bias_power: PowerMw,
+}
+
+impl Default for MachZehnder {
+    fn default() -> Self {
+        // Typical silicon depletion MZM: V_π ≈ 6 V over 2 mm arms.
+        Self { v_pi: 6.0, arm_length_um: 2000.0, insertion_loss_db: 3.0, bias_power: PowerMw(25.0) }
+    }
+}
+
+impl MachZehnder {
+    /// Power transmission at drive voltage `v`, in `[0, 1]` before
+    /// insertion loss.
+    pub fn transmission(&self, v: f64) -> f64 {
+        let phi = std::f64::consts::PI * v / self.v_pi;
+        let ideal = (phi / 2.0).cos().powi(2);
+        ideal * self.insertion_loss_factor()
+    }
+
+    /// Linear insertion-loss factor.
+    pub fn insertion_loss_factor(&self) -> f64 {
+        10f64.powf(-self.insertion_loss_db / 10.0)
+    }
+
+    /// Drive voltage that produces a target transmission fraction
+    /// `t ∈ [0, 1]` of the maximum (inverse of [`Self::transmission`]
+    /// without the loss factor).
+    pub fn drive_for(&self, t: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&t), "target transmission {t} outside [0, 1]");
+        2.0 * self.v_pi / std::f64::consts::PI * t.sqrt().acos()
+    }
+
+    /// Footprint: arms plus couplers.
+    pub fn footprint(&self) -> AreaUm2 {
+        AreaUm2(self.arm_length_um * 50.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrr::MrrGeometry;
+
+    #[test]
+    fn zero_drive_is_maximally_transmissive() {
+        let m = MachZehnder::default();
+        let t0 = m.transmission(0.0);
+        assert!((t0 - m.insertion_loss_factor()).abs() < 1e-12);
+        for v in [1.0, 2.0, 4.0] {
+            assert!(m.transmission(v) < t0);
+        }
+    }
+
+    #[test]
+    fn v_pi_extinguishes() {
+        let m = MachZehnder::default();
+        assert!(m.transmission(m.v_pi) < 1e-9, "half-wave voltage gives a null");
+    }
+
+    #[test]
+    fn transmission_is_bounded() {
+        let m = MachZehnder::default();
+        for i in 0..100 {
+            let v = i as f64 * 0.2;
+            let t = m.transmission(v);
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn drive_for_inverts_transmission() {
+        let m = MachZehnder::default();
+        for target in [1.0, 0.75, 0.5, 0.25, 0.01] {
+            let v = m.drive_for(target);
+            let achieved = m.transmission(v) / m.insertion_loss_factor();
+            assert!(
+                (achieved - target).abs() < 1e-9,
+                "target {target}: drive {v} gives {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn mzm_dwarfs_a_microring() {
+        // §VI: MZM meshes are "not as area-efficient as Trident … large
+        // MZMs take up a lot of area on the chip".
+        let mzm = MachZehnder::default().footprint();
+        let ring = MrrGeometry::weight_bank().footprint();
+        assert!(
+            mzm.value() > 100.0 * ring.value(),
+            "MZM {} vs ring {}",
+            mzm.value(),
+            ring.value()
+        );
+    }
+
+    #[test]
+    fn bias_power_exceeds_gst_hold() {
+        // GST holds weights for free; an MZM bias burns tens of mW.
+        assert!(MachZehnder::default().bias_power.value() > 10.0);
+    }
+}

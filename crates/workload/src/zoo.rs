@@ -1,0 +1,332 @@
+//! The five CNNs of the paper's evaluation, shape-exact.
+//!
+//! §IV: "We evaluate the performance of Trident on CNN models GoogleNet,
+//! MobileNet, VGG-16, AlexNet, and ResNet-50 … The image input to each of
+//! these CNN models is assumed to have dimensions of 224×224×3."
+//!
+//! Topologies follow the original publications; branching blocks are
+//! flattened per [`crate::model::ModelSpec`]'s convention. Tests pin the
+//! aggregate MAC/parameter counts against the published values.
+
+use crate::layer::{LayerKind, TensorShape};
+use crate::model::{ModelBuilder, ModelSpec};
+
+/// The paper's 224×224 RGB input.
+pub const INPUT_224: TensorShape = TensorShape::new(3, 224, 224);
+
+/// AlexNet (Krizhevsky 2012): 5 convolutions (two grouped) + 3 dense.
+pub fn alexnet() -> ModelSpec {
+    let mut b = ModelBuilder::new("AlexNet", INPUT_224);
+    b.conv("conv1", 96, 11, 4, 2)
+        .maxpool("pool1", 3, 2)
+        .conv_grouped("conv2", 256, 5, 1, 2, 2)
+        .maxpool("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1)
+        .conv_grouped("conv4", 384, 3, 1, 1, 2)
+        .conv_grouped("conv5", 256, 3, 1, 1, 2)
+        .maxpool("pool5", 3, 2)
+        .dense("fc6", 4096)
+        .dense("fc7", 4096)
+        .dense("fc8", 1000);
+    b.build()
+}
+
+/// VGG-16 (Simonyan & Zisserman 2014): 13 3×3 convolutions + 3 dense.
+pub fn vgg16() -> ModelSpec {
+    let mut b = ModelBuilder::new("VGG-16", INPUT_224);
+    let blocks: &[(usize, usize)] = &[(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+    for (stage, &(channels, convs)) in blocks.iter().enumerate() {
+        for c in 0..convs {
+            b.conv(format!("conv{}_{}", stage + 1, c + 1), channels, 3, 1, 1);
+        }
+        b.maxpool(format!("pool{}", stage + 1), 2, 2);
+    }
+    b.dense("fc6", 4096).dense("fc7", 4096).dense("fc8", 1000);
+    b.build()
+}
+
+/// One GoogleNet inception module.
+///
+/// Branches: 1×1; 1×1→3×3; 1×1→5×5; 3×3 maxpool→1×1 projection.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    b: &mut ModelBuilder,
+    name: &str,
+    c1: usize,
+    c3r: usize,
+    c3: usize,
+    c5r: usize,
+    c5: usize,
+    pool_proj: usize,
+) {
+    let fork = b.current_shape();
+    b.conv(format!("{name}_1x1"), c1, 1, 1, 0);
+    b.set_shape(fork);
+    b.conv(format!("{name}_3x3_reduce"), c3r, 1, 1, 0)
+        .conv(format!("{name}_3x3"), c3, 3, 1, 1);
+    b.set_shape(fork);
+    b.conv(format!("{name}_5x5_reduce"), c5r, 1, 1, 0)
+        .conv(format!("{name}_5x5"), c5, 5, 1, 2);
+    b.set_shape(fork);
+    b.push(format!("{name}_pool"), LayerKind::MaxPool { size: 3, stride: 1, padding: 1 })
+        .conv(format!("{name}_pool_proj"), pool_proj, 1, 1, 0);
+    // Running shape is the pool-proj branch; concat appends the others.
+    b.push(format!("{name}_concat"), LayerKind::Concat { extra_c: c1 + c3 + c5 });
+}
+
+/// GoogleNet / Inception-v1 (Szegedy 2015): stem + 9 inception modules.
+pub fn googlenet() -> ModelSpec {
+    let mut b = ModelBuilder::new("GoogleNet", INPUT_224);
+    b.conv("conv1", 64, 7, 2, 3)
+        .push("pool1", LayerKind::MaxPool { size: 3, stride: 2, padding: 1 })
+        .conv("conv2_reduce", 64, 1, 1, 0)
+        .conv("conv2", 192, 3, 1, 1)
+        .push("pool2", LayerKind::MaxPool { size: 3, stride: 2, padding: 1 });
+    inception(&mut b, "3a", 64, 96, 128, 16, 32, 32);
+    inception(&mut b, "3b", 128, 128, 192, 32, 96, 64);
+    b.push("pool3", LayerKind::MaxPool { size: 3, stride: 2, padding: 1 });
+    inception(&mut b, "4a", 192, 96, 208, 16, 48, 64);
+    inception(&mut b, "4b", 160, 112, 224, 24, 64, 64);
+    inception(&mut b, "4c", 128, 128, 256, 24, 64, 64);
+    inception(&mut b, "4d", 112, 144, 288, 32, 64, 64);
+    inception(&mut b, "4e", 256, 160, 320, 32, 128, 128);
+    b.push("pool4", LayerKind::MaxPool { size: 3, stride: 2, padding: 1 });
+    inception(&mut b, "5a", 256, 160, 320, 32, 128, 128);
+    inception(&mut b, "5b", 384, 192, 384, 48, 128, 128);
+    b.push("gap", LayerKind::GlobalAvgPool).dense("fc", 1000);
+    b.build_branched()
+}
+
+/// One ResNet-v1 bottleneck: 1×1 (stride) → 3×3 → 1×1, plus shortcut.
+fn bottleneck(b: &mut ModelBuilder, name: &str, mid: usize, out: usize, stride: usize) {
+    let fork = b.current_shape();
+    let project = stride != 1 || fork.c != out;
+    b.conv(format!("{name}_1x1a"), mid, 1, stride, 0)
+        .conv(format!("{name}_3x3"), mid, 3, 1, 1)
+        .conv(format!("{name}_1x1b"), out, 1, 1, 0);
+    let main_out = b.current_shape();
+    if project {
+        b.set_shape(fork);
+        b.conv(format!("{name}_proj"), out, 1, stride, 0);
+    }
+    b.set_shape(main_out);
+    b.push(format!("{name}_add"), LayerKind::Add);
+}
+
+/// ResNet-50 (He 2015): stem + (3, 4, 6, 3) bottleneck stages.
+pub fn resnet50() -> ModelSpec {
+    let mut b = ModelBuilder::new("ResNet-50", INPUT_224);
+    b.conv("conv1", 64, 7, 2, 3)
+        .push("pool1", LayerKind::MaxPool { size: 3, stride: 2, padding: 1 });
+    let stages: &[(usize, usize, usize, usize)] =
+        &[(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    for (s, &(mid, out, blocks, first_stride)) in stages.iter().enumerate() {
+        for blk in 0..blocks {
+            let stride = if blk == 0 { first_stride } else { 1 };
+            bottleneck(&mut b, &format!("res{}_{}", s + 2, blk), mid, out, stride);
+        }
+    }
+    b.push("gap", LayerKind::GlobalAvgPool).dense("fc", 1000);
+    b.build_branched()
+}
+
+/// One MobileNetV2 inverted residual block.
+fn inverted_residual(b: &mut ModelBuilder, name: &str, expand: usize, out: usize, stride: usize) {
+    let fork = b.current_shape();
+    let hidden = fork.c * expand;
+    if expand != 1 {
+        b.conv(format!("{name}_expand"), hidden, 1, 1, 0);
+    }
+    b.conv_grouped(format!("{name}_dw"), hidden, 3, stride, 1, hidden)
+        .conv(format!("{name}_project"), out, 1, 1, 0);
+    if stride == 1 && fork.c == out {
+        b.push(format!("{name}_add"), LayerKind::Add);
+    }
+}
+
+/// MobileNetV2 (Sandler 2018): depthwise-separable inverted residuals.
+pub fn mobilenet_v2() -> ModelSpec {
+    let mut b = ModelBuilder::new("MobileNetV2", INPUT_224);
+    b.conv("conv1", 32, 3, 2, 1);
+    // (expansion t, output channels c, repeats n, first stride s)
+    let blocks: &[(usize, usize, usize, usize)] = &[
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for (g, &(t, c, n, s)) in blocks.iter().enumerate() {
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            inverted_residual(&mut b, &format!("block{}_{}", g + 1, i), t, c, stride);
+        }
+    }
+    b.conv("conv_last", 1280, 1, 1, 0)
+        .push("gap", LayerKind::GlobalAvgPool)
+        .dense("fc", 1000);
+    b.build_branched()
+}
+
+/// All five evaluation models in the order the paper's figures use.
+pub fn paper_models() -> Vec<ModelSpec> {
+    vec![alexnet(), vgg16(), googlenet(), mobilenet_v2(), resnet50()]
+}
+
+/// LeNet-5 (LeCun 1998): not in the paper's evaluation, but the classic
+/// tiny edge workload — small enough to be fully weight-resident on a
+/// 44-PE Trident, which makes it the natural demo for the §III-A
+/// "pre-program everything once" regime.
+pub fn lenet5() -> ModelSpec {
+    let mut b = ModelBuilder::new("LeNet-5", TensorShape::new(1, 32, 32));
+    b.conv("c1", 6, 5, 1, 0)
+        .push("s2", LayerKind::AvgPool { size: 2, stride: 2 })
+        .conv("c3", 16, 5, 1, 0)
+        .push("s4", LayerKind::AvgPool { size: 2, stride: 2 })
+        .conv("c5", 120, 5, 1, 0)
+        .dense("f6", 84)
+        .dense("output", 10);
+    b.build()
+}
+
+/// Look a model up by a user-facing name (case/punctuation-insensitive).
+pub fn by_name(name: &str) -> Option<ModelSpec> {
+    let key: String =
+        name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase();
+    match key.as_str() {
+        "alexnet" => Some(alexnet()),
+        "vgg16" => Some(vgg16()),
+        "googlenet" => Some(googlenet()),
+        "mobilenetv2" | "mobilenet" => Some(mobilenet_v2()),
+        "resnet50" => Some(resnet50()),
+        "lenet5" | "lenet" => Some(lenet5()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Assert `value` lies within `tol` (relative) of `expected`.
+    fn within(value: u64, expected: u64, tol: f64, what: &str) {
+        let rel = (value as f64 - expected as f64).abs() / expected as f64;
+        assert!(
+            rel <= tol,
+            "{what}: got {value}, expected ~{expected} (off by {:.1}%)",
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn alexnet_counts_match_publication() {
+        let m = alexnet();
+        within(m.total_params(), 61_000_000, 0.03, "AlexNet params");
+        within(m.total_macs(), 724_000_000, 0.05, "AlexNet MACs");
+        assert_eq!(m.mac_layer_count(), 8);
+    }
+
+    #[test]
+    fn vgg16_counts_match_publication() {
+        let m = vgg16();
+        within(m.total_params(), 138_000_000, 0.02, "VGG-16 params");
+        within(m.total_macs(), 15_470_000_000, 0.02, "VGG-16 MACs");
+        assert_eq!(m.mac_layer_count(), 16);
+    }
+
+    #[test]
+    fn googlenet_counts_match_publication() {
+        let m = googlenet();
+        within(m.total_params(), 7_000_000, 0.10, "GoogleNet params");
+        within(m.total_macs(), 1_580_000_000, 0.10, "GoogleNet MACs");
+        // conv1 + conv2_reduce + conv2 + 9 modules × 6 convs + fc = 58.
+        assert_eq!(m.mac_layer_count(), 58);
+    }
+
+    #[test]
+    fn resnet50_counts_match_publication() {
+        let m = resnet50();
+        within(m.total_params(), 25_500_000, 0.03, "ResNet-50 params");
+        // ResNet-50 v1 (stride on the first 1×1): ~3.86 GMACs.
+        within(m.total_macs(), 3_860_000_000, 0.10, "ResNet-50 MACs");
+    }
+
+    #[test]
+    fn mobilenetv2_counts_match_publication() {
+        let m = mobilenet_v2();
+        within(m.total_params(), 3_400_000, 0.10, "MobileNetV2 params");
+        within(m.total_macs(), 300_000_000, 0.10, "MobileNetV2 MACs");
+    }
+
+    #[test]
+    fn googlenet_shapes_follow_the_paper_table() {
+        let m = googlenet();
+        // Find the 3a concat: output must be 256×28×28.
+        let concat = m.layers.iter().find(|l| l.name == "3a_concat").unwrap();
+        assert_eq!(concat.output(), TensorShape::new(256, 28, 28));
+        let concat5b = m.layers.iter().find(|l| l.name == "5b_concat").unwrap();
+        assert_eq!(concat5b.output(), TensorShape::new(1024, 7, 7));
+    }
+
+    #[test]
+    fn resnet50_final_shape_is_2048() {
+        let m = resnet50();
+        let gap = m.layers.iter().find(|l| l.name == "gap").unwrap();
+        assert_eq!(gap.input, TensorShape::new(2048, 7, 7));
+    }
+
+    #[test]
+    fn mobilenet_final_shape_is_1280() {
+        let m = mobilenet_v2();
+        let gap = m.layers.iter().find(|l| l.name == "gap").unwrap();
+        assert_eq!(gap.input, TensorShape::new(1280, 7, 7));
+    }
+
+    #[test]
+    fn paper_models_order_and_count() {
+        let models = paper_models();
+        let names: Vec<_> = models.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["AlexNet", "VGG-16", "GoogleNet", "MobileNetV2", "ResNet-50"]);
+    }
+
+    #[test]
+    fn parameter_ordering_matches_the_paper() {
+        // §V-B: "from 4 million for GoogleNet to 138 million for VGG-16"
+        // (the 4M figure counts only a subset; the ordering is what
+        // matters): MobileNetV2 < GoogleNet < ResNet-50 < AlexNet < VGG-16.
+        let p = |m: &ModelSpec| m.total_params();
+        let (a, v, g, mb, r) =
+            (p(&alexnet()), p(&vgg16()), p(&googlenet()), p(&mobilenet_v2()), p(&resnet50()));
+        assert!(mb < g && g < r && r < a && a < v);
+    }
+
+    #[test]
+    fn lenet5_counts_match_publication() {
+        let m = lenet5();
+        // LeNet-5 conv+fc weights ≈ 61k parameters.
+        within(m.total_params(), 61_000, 0.05, "LeNet-5 params");
+        assert_eq!(m.mac_layer_count(), 5);
+        // c5 collapses 16×5×5 to 120×1×1.
+        let c5 = m.layers.iter().find(|l| l.name == "c5").unwrap();
+        assert_eq!(c5.output(), TensorShape::new(120, 1, 1));
+    }
+
+    #[test]
+    fn by_name_resolves_aliases() {
+        assert_eq!(by_name("VGG-16").unwrap().name, "VGG-16");
+        assert_eq!(by_name("mobilenetv2").unwrap().name, "MobileNetV2");
+        assert_eq!(by_name("ResNet-50").unwrap().name, "ResNet-50");
+        assert_eq!(by_name("lenet").unwrap().name, "LeNet-5");
+        assert!(by_name("transformer").is_none());
+    }
+
+    #[test]
+    fn vgg_dominates_macs() {
+        let macs = |m: &ModelSpec| m.total_macs();
+        assert!(macs(&vgg16()) > macs(&resnet50()));
+        assert!(macs(&resnet50()) > macs(&googlenet()));
+        assert!(macs(&googlenet()) > macs(&mobilenet_v2()));
+    }
+}

@@ -1,0 +1,66 @@
+//! Accelerator face-off on a *custom* network: build your own topology
+//! with the workload builder and see how every accelerator handles it —
+//! the downstream-user workflow the library is designed for.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_faceoff
+//! ```
+
+use trident::baselines::electronic::all_electronic;
+use trident::baselines::photonic::all_photonic;
+use trident::baselines::traits::AcceleratorModel;
+use trident::workload::layer::{LayerKind, TensorShape};
+use trident::workload::model::ModelBuilder;
+
+fn main() {
+    // A compact edge-vision network: something a user might actually
+    // deploy on-device — small stem, depthwise blocks, tiny classifier.
+    let mut b = ModelBuilder::new("EdgeVisionNet", TensorShape::new(3, 96, 96));
+    b.conv("stem", 16, 3, 2, 1);
+    for (i, (c, s)) in [(32, 2), (64, 2), (96, 1), (128, 2)].iter().enumerate() {
+        let hidden = b.current_shape().c * 4;
+        b.conv(format!("b{i}_expand"), hidden, 1, 1, 0)
+            .conv_grouped(format!("b{i}_dw"), hidden, 3, *s, 1, hidden)
+            .conv(format!("b{i}_project"), *c, 1, 1, 0);
+    }
+    b.push("gap", LayerKind::GlobalAvgPool).dense("classifier", 20);
+    let model = b.build_branched();
+
+    println!(
+        "{}: {:.1} MMACs, {:.2}M params, {} MAC layers\n",
+        model.name,
+        model.total_macs() as f64 / 1e6,
+        model.total_params() as f64 / 1e6,
+        model.mac_layer_count()
+    );
+
+    println!(
+        "{:<20} {:>12} {:>14} {:>12}",
+        "accelerator", "inf/s", "mJ/inference", "peak TOPS/W"
+    );
+    for accel in all_electronic() {
+        println!(
+            "{:<20} {:>12.0} {:>14.3} {:>12.2}  (roofline estimate)",
+            accel.name(),
+            accel.inferences_per_second(&model),
+            accel.energy_per_inference_mj(&model),
+            accel.tops_per_watt()
+        );
+    }
+    for accel in all_photonic() {
+        println!(
+            "{:<20} {:>12.0} {:>14.3} {:>12.2}  ({} PEs, {}-bit weights)",
+            accel.name(),
+            accel.inferences_per_second(&model),
+            accel.energy_per_inference_mj(&model),
+            accel.tops_per_watt(),
+            accel.num_pes(),
+            accel.weight_bits()
+        );
+    }
+
+    println!(
+        "\nOnly accelerators with >= 8-bit weight paths can fine-tune this\n\
+         model on-device: Trident (photonic, 8-bit GST) and the Xavier."
+    );
+}

@@ -1,0 +1,109 @@
+//! Edge inference study: run the paper's five CNNs through the Trident
+//! performance model and compare against all six baseline accelerators —
+//! a condensed Fig. 4 + Fig. 6 in one run, with a per-layer drill-down.
+//!
+//! ```sh
+//! cargo run --release --example edge_inference [model]
+//! ```
+//!
+//! `model` (optional): one of `alexnet`, `vgg16`, `googlenet`,
+//! `mobilenetv2`, `resnet50` to drill into; default prints the summary.
+
+use trident::baselines::electronic::all_electronic;
+use trident::baselines::photonic::{all_photonic, trident_photonic};
+use trident::baselines::traits::AcceleratorModel;
+use trident::workload::model::ModelSpec;
+use trident::workload::zoo;
+
+fn pick(name: &str) -> Option<ModelSpec> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" => Some(zoo::alexnet()),
+        "vgg16" | "vgg-16" => Some(zoo::vgg16()),
+        "googlenet" => Some(zoo::googlenet()),
+        "mobilenetv2" | "mobilenet" => Some(zoo::mobilenet_v2()),
+        "resnet50" | "resnet-50" => Some(zoo::resnet50()),
+        _ => None,
+    }
+}
+
+fn summary() {
+    println!("Edge accelerator face-off on the paper's five CNNs\n");
+    let photonic = all_photonic();
+    let electronic = all_electronic();
+
+    for model in zoo::paper_models() {
+        println!(
+            "{} — {:.2} GMACs, {:.1}M params, {} MAC layers",
+            model.name,
+            model.total_macs() as f64 / 1e9,
+            model.total_params() as f64 / 1e6,
+            model.mac_layer_count()
+        );
+        for accel in &electronic {
+            println!(
+                "  {:<18} {:>9.0} inf/s   {:>8.2} mJ/inf",
+                accel.name(),
+                accel.inferences_per_second(&model),
+                accel.energy_per_inference_mj(&model)
+            );
+        }
+        for accel in &photonic {
+            println!(
+                "  {:<18} {:>9.0} inf/s   {:>8.2} mJ/inf   ({} PEs @ 30 W)",
+                accel.name(),
+                accel.inferences_per_second(&model),
+                accel.energy_per_inference_mj(&model),
+                accel.num_pes()
+            );
+        }
+        println!();
+    }
+}
+
+fn drill_down(model: &ModelSpec) {
+    let trident = trident_photonic();
+    let analysis = trident.analyze(model);
+    println!(
+        "Per-layer Trident analysis of {} ({} MAC layers)\n",
+        model.name,
+        analysis.layers.len()
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "layer", "latency (us)", "stream (us)", "tune (us)", "energy (uJ)"
+    );
+    for layer in &analysis.layers {
+        println!(
+            "{:<22} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+            layer.name,
+            layer.latency.micros(),
+            layer.stream_latency.micros(),
+            layer.tune_latency.micros(),
+            layer.energy().value() / 1e6
+        );
+    }
+    println!(
+        "\nTOTAL: {:.3} ms/inference ({:.0} inf/s), {:.2} mJ/inference, \
+         tuning share {:.1}%",
+        analysis.latency().millis(),
+        analysis.inferences_per_second(),
+        analysis.energy_mj(),
+        analysis.tuning_share() * 100.0
+    );
+}
+
+fn main() {
+    match std::env::args().nth(1) {
+        Some(name) => match pick(&name) {
+            Some(model) => drill_down(&model),
+            None => {
+                eprintln!(
+                    "unknown model {name:?}; try alexnet, vgg16, googlenet, \
+                     mobilenetv2 or resnet50"
+                );
+                std::process::exit(1);
+            }
+        },
+        None => summary(),
+    }
+}

@@ -1,0 +1,7 @@
+//! Workspace-root package of the Trident reproduction.
+//!
+//! This package exists to host the runnable `examples/` and the
+//! cross-crate integration tests in `tests/`; the library surface is the
+//! [`trident`] crate, re-exported here for the examples' convenience.
+
+pub use trident;

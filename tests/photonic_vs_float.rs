@@ -1,0 +1,135 @@
+#![allow(clippy::needless_range_loop)]
+//! Cross-crate equivalence: the photonic engine (trident-arch) against
+//! the float reference (trident-nn), layer by layer and end to end.
+
+use trident::arch::engine::PhotonicMlp;
+use trident::nn::layers::{Activation, ActivationLayer, Dense, Layer};
+use trident::nn::tensor::Tensor;
+
+/// Build an nn-crate mirror of the photonic engine's weights.
+fn mirror_network(engine: &PhotonicMlp) -> Vec<(Dense, Option<ActivationLayer>)> {
+    let (threshold, slope) = engine.activation();
+    (0..engine.layer_count())
+        .map(|k| {
+            let (out, inp) = engine.layer_dims(k);
+            let w: Vec<f32> = engine.layer_weights(k).iter().map(|&v| v as f32).collect();
+            let dense = Dense::from_weights(Tensor::from_vec(&[out, inp], w));
+            let act = (k + 1 < engine.layer_count()).then(|| {
+                ActivationLayer::new(Activation::GstRelu {
+                    threshold: threshold as f32,
+                    slope: slope as f32,
+                })
+            });
+            (dense, act)
+        })
+        .collect()
+}
+
+fn float_forward(net: &mut [(Dense, Option<ActivationLayer>)], x: &[f64]) -> Vec<f64> {
+    let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let mut t = Tensor::from_vec(&[1, x.len()], x32);
+    for (dense, act) in net.iter_mut() {
+        t = dense.forward(&t);
+        if let Some(a) = act {
+            t = a.forward(&t);
+        }
+    }
+    t.data().iter().map(|&v| v as f64).collect()
+}
+
+#[test]
+fn forward_pass_matches_float_reference_within_quantization() {
+    let mut engine = PhotonicMlp::new(&[12, 10, 4], 16, 16, 31, None, 8);
+    let mut mirror = mirror_network(&engine);
+    for trial in 0..8 {
+        let x: Vec<f64> = (0..12).map(|i| ((i * 7 + trial * 13) % 10) as f64 / 10.0).collect();
+        let photonic = engine.forward(&x);
+        let float = float_forward(&mut mirror, &x);
+        for (r, (&p, &f)) in photonic.iter().zip(&float).enumerate() {
+            assert!(
+                (p - f).abs() < 0.08,
+                "trial {trial} output {r}: photonic {p} vs float {f}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forward_pass_with_receiver_noise_stays_close() {
+    let mut ideal = PhotonicMlp::new(&[12, 10, 4], 16, 16, 31, None, 8);
+    let mut noisy = PhotonicMlp::new(&[12, 10, 4], 16, 16, 31, Some(5), 8);
+    let x: Vec<f64> = (0..12).map(|i| (i % 5) as f64 / 5.0).collect();
+    let yi = ideal.forward(&x);
+    let yn = noisy.forward(&x);
+    for (r, (&a, &b)) in yi.iter().zip(&yn).enumerate() {
+        assert!((a - b).abs() < 0.1, "output {r}: ideal {a} vs noisy {b}");
+    }
+}
+
+#[test]
+fn tiled_wide_layer_matches_float_reference() {
+    // 50 inputs → 4 column tiles; 20 hidden → 2 row tiles.
+    let mut engine = PhotonicMlp::new(&[50, 20, 5], 16, 16, 8, None, 8);
+    let mut mirror = mirror_network(&engine);
+    let x: Vec<f64> = (0..50).map(|i| ((i * 3) % 8) as f64 / 8.0).collect();
+    let photonic = engine.forward(&x);
+    let float = float_forward(&mut mirror, &x);
+    for (r, (&p, &f)) in photonic.iter().zip(&float).enumerate() {
+        assert!((p - f).abs() < 0.15, "output {r}: photonic {p} vs float {f}");
+    }
+}
+
+#[test]
+fn insitu_gradient_matches_float_backprop() {
+    // One supervised step on identical weights/data: the photonic weight
+    // update direction must agree with autograd.
+    let dims = [8usize, 6, 3];
+    let mut engine = PhotonicMlp::new(&dims, 16, 16, 77, None, 8);
+    let mut mirror = mirror_network(&engine);
+    let x: Vec<f64> = vec![0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4];
+    let label = 1usize;
+
+    // Float reference gradients.
+    let x32: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let mut t = Tensor::from_vec(&[1, 8], x32);
+    for (dense, act) in mirror.iter_mut() {
+        t = dense.forward(&t);
+        if let Some(a) = act {
+            t = a.forward(&t);
+        }
+    }
+    let (_, grad) = trident::nn::loss::softmax_cross_entropy(&t, &[label]);
+    let mut g = grad;
+    for (dense, act) in mirror.iter_mut().rev() {
+        if let Some(a) = act {
+            g = a.backward(&g);
+        }
+        g = dense.backward(&g);
+    }
+
+    // Photonic step with lr small enough to read the gradient off the
+    // weight delta.
+    let lr = 0.05;
+    let before: Vec<Vec<f64>> =
+        (0..2).map(|k| engine.layer_weights(k).to_vec()).collect();
+    engine.train_sample(&x, label, lr);
+    for k in 0..2 {
+        let after = engine.layer_weights(k);
+        let reference = match k {
+            0 => mirror[0].0.grad_weights().clone(),
+            _ => mirror[1].0.grad_weights().clone(),
+        };
+        let quant_step = 2.0 / 254.0;
+        for (i, (&b, &a)) in before[k].iter().zip(after).enumerate() {
+            let photonic_grad = (b - a) / lr;
+            let float_grad = reference.data()[i] as f64;
+            // The photonic gradient is quantized by the weight grid, so
+            // compare with a tolerance of one grid step over lr plus the
+            // analog error.
+            assert!(
+                (photonic_grad - float_grad).abs() < quant_step / lr + 0.1,
+                "layer {k} weight {i}: photonic grad {photonic_grad} vs float {float_grad}"
+            );
+        }
+    }
+}

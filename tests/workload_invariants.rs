@@ -1,0 +1,117 @@
+//! Property-based invariants of the workload characterization and its
+//! interaction with the dataflow mapper.
+
+use proptest::prelude::*;
+use trident::workload::dataflow::DataflowModel;
+use trident::workload::layer::{LayerKind, LayerSpec, TensorShape};
+
+fn arb_conv() -> impl Strategy<Value = LayerSpec> {
+    (1usize..=64, 1usize..=5, 1usize..=3, 0usize..=2, 4usize..=64, 1usize..=32)
+        .prop_flat_map(|(out_c, kernel, stride, padding, hw, in_c)| {
+            // Keep shapes legal: input must cover the kernel.
+            let hw = hw.max(kernel + 1);
+            Just(LayerSpec {
+                name: "conv".into(),
+                kind: LayerKind::Conv2d { out_c, kernel, stride, padding, groups: 1 },
+                input: TensorShape::new(in_c, hw, hw),
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MACs always equal the GEMM view's product.
+    #[test]
+    fn macs_equal_gemm_product(layer in arb_conv()) {
+        let g = layer.gemm_view().unwrap();
+        prop_assert_eq!(g.macs(), layer.macs());
+    }
+
+    /// Output shape is positive and consistent with the MAC count.
+    #[test]
+    fn output_shape_is_positive(layer in arb_conv()) {
+        let out = layer.output();
+        prop_assert!(out.c > 0 && out.h > 0 && out.w > 0);
+        // MACs = out elements × receptive field.
+        let per_output = layer.params() / out.c as u64;
+        prop_assert_eq!(layer.macs(), out.volume() as u64 * per_output);
+    }
+
+    /// The mapper conserves MACs and weight writes for any conv layer.
+    #[test]
+    fn mapper_conserves_counts(layer in arb_conv()) {
+        let df = DataflowModel::trident_paper();
+        let m = df.map_layer(&layer).unwrap();
+        prop_assert_eq!(m.macs, layer.macs());
+        prop_assert_eq!(m.weight_writes, layer.params());
+        prop_assert!(m.passes >= 1);
+        prop_assert!(m.tiles >= 1);
+        // Tiles must be able to hold all weights.
+        prop_assert!(
+            m.tiles * (df.mrrs_per_pe() as u64) >= layer.params(),
+            "tiles {} × 256 must cover {} params", m.tiles, layer.params()
+        );
+    }
+
+    /// Passes never exceed tiles, and ceil-div consistency holds.
+    #[test]
+    fn passes_are_ceil_div_of_tiles(layer in arb_conv()) {
+        let df = DataflowModel::trident_paper();
+        let m = df.map_layer(&layer).unwrap();
+        prop_assert_eq!(m.passes, m.tiles.div_ceil(44));
+    }
+
+    /// Stride reduces output area monotonically.
+    #[test]
+    fn stride_shrinks_output(
+        out_c in 1usize..=16,
+        kernel in 1usize..=3,
+        hw in 8usize..=32,
+        in_c in 1usize..=8,
+    ) {
+        let mk = |stride: usize| LayerSpec {
+            name: "conv".into(),
+            kind: LayerKind::Conv2d { out_c, kernel, stride, padding: 0, groups: 1 },
+            input: TensorShape::new(in_c, hw, hw),
+        };
+        let s1 = mk(1).output();
+        let s2 = mk(2).output();
+        prop_assert!(s2.h <= s1.h && s2.w <= s1.w);
+        prop_assert!(mk(2).macs() <= mk(1).macs());
+    }
+}
+
+#[test]
+fn depthwise_channel_packing_never_loses_weights() {
+    // Exhaustive over a small grid: packed tiles must always cover every
+    // weight of a depthwise layer.
+    let df = DataflowModel::trident_paper();
+    for groups in [1usize, 2, 3, 8, 16, 17, 32, 96, 144] {
+        for kernel in [1usize, 3, 5] {
+            let layer = LayerSpec {
+                name: "dw".into(),
+                kind: LayerKind::Conv2d {
+                    out_c: groups,
+                    kernel,
+                    stride: 1,
+                    padding: kernel / 2,
+                    groups,
+                },
+                input: TensorShape::new(groups, 16, 16),
+            };
+            if kernel * kernel > 16 {
+                continue; // receptive field exceeds the bank's channels
+            }
+            let m = df.map_layer(&layer).unwrap();
+            assert!(
+                m.tiles * 16 >= (groups * kernel * kernel) as u64,
+                "groups={groups} kernel={kernel}: {} tiles × 16 channels \
+                 cannot cover {} channel-slots",
+                m.tiles,
+                groups * kernel * kernel
+            );
+            assert_eq!(m.weight_writes, layer.params());
+        }
+    }
+}
