@@ -15,13 +15,43 @@
 //! an MVM is two cached mat-vecs — the physics runs once per programming,
 //! not once per vector.
 
+use crate::error::ArchError;
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
-use trident_pcm::gst::GstParameters;
+use trident_pcm::gst::{GstFault, GstParameters, WriteVerifyPolicy};
 use trident_pcm::weight::{PcmMrr, WeightLut};
+use trident_pcm::PcmError;
 use trident_photonics::ledger::EnergyLedger;
 use trident_photonics::mrr::{AddDropMrr, MrrGeometry};
 use trident_photonics::units::{EnergyPj, Nanoseconds};
 use trident_photonics::wdm::WdmGrid;
+
+/// Spare rings fabricated alongside each row for wear-leveling remap
+/// (12.5% redundancy on the paper's 16-wide banks).
+pub const DEFAULT_SPARES_PER_ROW: usize = 2;
+
+/// Accounting record of one fault-aware bank programming event
+/// (the closed-loop [`WeightBank::try_program_verified`] path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramReport {
+    /// Total optical energy spent (write pulses + verify read-backs).
+    pub energy: EnergyPj,
+    /// Wall-clock time: rings program in parallel, so this is the longest
+    /// single-cell retry sequence.
+    pub time: Nanoseconds,
+    /// Write pulses summed over all cells.
+    pub pulses: u64,
+    /// Cells whose state actually changed.
+    pub cells_written: usize,
+    /// Cells that needed more than one pulse to verify.
+    pub retried_cells: usize,
+    /// Cells remapped onto a spare ring during this event.
+    pub remapped: usize,
+    /// Cells masked out (dead, no spare left) during this event.
+    pub masked: usize,
+    /// Per-cell failures absorbed by masking: `(row, col, cause)`.
+    pub failures: Vec<(usize, usize, PcmError)>,
+}
 
 /// A J×N PCM-MRR weight bank.
 ///
@@ -42,6 +72,17 @@ pub struct WeightBank {
     grid: WdmGrid,
     lut: WeightLut,
     rings: Vec<PcmMrr>,
+    /// The ring design, kept so spares can be minted on demand.
+    geometry: MrrGeometry,
+    /// The GST recipe, kept for the same reason.
+    params: GstParameters,
+    /// Electronically masked (dead) slots: the balanced receiver cancels
+    /// the slot's channel for this row, so it contributes zero weight.
+    masked: Vec<bool>,
+    /// Spare rings still available per row for wear-leveling remap.
+    spares: Vec<usize>,
+    /// Faulty/worn cells replaced by a spare so far.
+    remapped: u64,
     /// Cached per-ring transfer `[row][ring][channel] → (drop, through)`;
     /// refreshed only for rings whose GST state changed, so reprogramming
     /// during training stays cheap.
@@ -100,6 +141,11 @@ impl WeightBank {
             grid,
             lut,
             rings,
+            geometry,
+            params,
+            masked: vec![false; rows * cols],
+            spares: vec![DEFAULT_SPARES_PER_ROW; rows],
+            remapped: 0,
             transfer_cache: vec![(0.0, 0.0); rows * cols * cols],
             drop_coeff: vec![0.0; rows * cols],
             through_coeff: vec![0.0; rows * cols],
@@ -115,11 +161,18 @@ impl WeightBank {
         bank
     }
 
-    /// Re-evaluate the physics for one ring across every channel.
+    /// Re-evaluate the physics for one ring across every channel. A masked
+    /// (dead) ring is heater-detuned far off the bus: transparent on every
+    /// channel, contributing neither drop power nor crosstalk.
     fn refresh_ring_cache(&mut self, r: usize, k: usize) {
         for j in 0..self.cols {
-            let t = self.ring(r, k).transfer(self.grid.channel(j));
-            self.transfer_cache[(r * self.cols + k) * self.cols + j] = (t.drop, t.through);
+            let t = if self.masked[r * self.cols + k] {
+                (0.0, 1.0)
+            } else {
+                let t = self.ring(r, k).transfer(self.grid.channel(j));
+                (t.drop, t.through)
+            };
+            self.transfer_cache[(r * self.cols + k) * self.cols + j] = t;
         }
     }
 
@@ -155,16 +208,35 @@ impl WeightBank {
     /// slices of `cols` weights each, entries in `[-1, 1]`). All rings
     /// program in parallel optically, so wall-clock cost is one write time
     /// when anything changed. Returns `(energy, time)` spent.
+    ///
+    /// This is the fast open-loop path (one ideal calibrated pulse per
+    /// cell). Masked slots are skipped; writes rejected by stuck or worn
+    /// cells are dropped and tallied in [`WeightBank::write_failures`] —
+    /// the stuck weight simply stays on the bus. The closed-loop,
+    /// remapping path is [`WeightBank::try_program_verified`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or out-of-range weights (caller bugs).
     pub fn program(&mut self, weights: &[&[f64]]) -> (EnergyPj, Nanoseconds) {
         assert_eq!(weights.len(), self.rows, "row count mismatch");
         let mut spent = EnergyPj::ZERO;
         for (r, row) in weights.iter().enumerate() {
             assert_eq!(row.len(), self.cols, "column count mismatch in row {r}");
             for (c, &w) in row.iter().enumerate() {
-                let e = self.rings[r * self.cols + c].set_weight(w, &self.lut);
-                if e.value() > 0.0 {
-                    spent += e;
-                    self.refresh_ring_cache(r, c);
+                if self.masked[r * self.cols + c] {
+                    continue;
+                }
+                match self.rings[r * self.cols + c].try_set_weight(w, &self.lut) {
+                    Ok(e) => {
+                        if e.value() > 0.0 {
+                            spent += e;
+                            self.refresh_ring_cache(r, c);
+                        }
+                    }
+                    Err(e @ PcmError::WeightOutOfRange(_)) => panic!("{e}"),
+                    // Stuck or worn cells reject the write; the failure is
+                    // tallied on the ring and the old state stays active.
+                    Err(_) => {}
                 }
             }
         }
@@ -187,8 +259,247 @@ impl WeightBank {
     }
 
     /// The weight currently programmed at `(r, c)` (quantized readback).
+    /// Masked slots read as zero — their channel is cancelled.
     pub fn weight(&self, r: usize, c: usize) -> f64 {
+        if self.masked[r * self.cols + c] {
+            return 0.0;
+        }
         self.ring(r, c).weight(&self.lut)
+    }
+
+    /// Fault-aware closed-loop programming: every changed cell goes
+    /// through the bounded-retry program-and-verify write sequence
+    /// ([`PcmMrr::set_weight_verified`]), and the bank degrades gracefully
+    /// around cells that cannot hold their weight:
+    ///
+    /// 1. **wear-leveling** — a cell too worn to guarantee a full retry
+    ///    budget is retired *before* it can fail mid-write and its slot is
+    ///    remapped onto one of the row's spare rings;
+    /// 2. **remap on failure** — stuck or verify-failed cells likewise
+    ///    move to a spare;
+    /// 3. **mask as last resort** — with the row's spares exhausted the
+    ///    slot is detuned off the bus and its channel cancelled at the
+    ///    receiver (zero weight), with the cause recorded in
+    ///    [`ProgramReport::failures`].
+    ///
+    /// Only caller bugs (wrong shape, non-finite weights) return `Err`;
+    /// device trouble is absorbed into the report.
+    pub fn try_program_verified(
+        &mut self,
+        weights: &[f64],
+        policy: &WriteVerifyPolicy,
+        rng: &mut StdRng,
+    ) -> Result<ProgramReport, ArchError> {
+        if weights.len() != self.rows * self.cols {
+            return Err(ArchError::ShapeMismatch {
+                expected: self.rows * self.cols,
+                got: weights.len(),
+            });
+        }
+        let mut report = ProgramReport {
+            energy: EnergyPj::ZERO,
+            time: Nanoseconds(0.0),
+            pulses: 0,
+            cells_written: 0,
+            retried_cells: 0,
+            remapped: 0,
+            masked: 0,
+            failures: Vec::new(),
+        };
+        let mut changed = false;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let idx = r * self.cols + c;
+                if self.masked[idx] {
+                    continue; // dead slot: its weight is lost to masking
+                }
+                let w = weights[idx];
+                // Wear-leveling: retire a cell that can no longer afford a
+                // worst-case retry sequence, so verified writes never run
+                // a cell past its endurance budget.
+                let remaining = self.rings[idx].cell().endurance_remaining();
+                if remaining < u64::from(policy.max_attempts) {
+                    if self.remap_slot(r, c).is_ok() {
+                        report.remapped += 1;
+                        changed = true;
+                    } else {
+                        let cell = self.rings[idx].cell();
+                        report.failures.push((
+                            r,
+                            c,
+                            PcmError::WornOut {
+                                writes: cell.write_count(),
+                                endurance: cell.params().endurance_cycles,
+                            },
+                        ));
+                        self.mask_slot(r, c);
+                        report.masked += 1;
+                        changed = true;
+                        continue;
+                    }
+                }
+                match self.write_slot_verified(r, c, w, policy, rng, &mut report) {
+                    Ok(wrote) => changed |= wrote,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let time = if changed {
+            self.program_events += 1;
+            if report.energy.value() > 0.0 {
+                self.energy.charge("gst write", report.energy);
+            }
+            self.recompute_response();
+            report.time
+        } else {
+            Nanoseconds(0.0)
+        };
+        report.time = time;
+        Ok(report)
+    }
+
+    /// One cell of the verified programming sweep: write, and on device
+    /// failure remap to a spare (retrying once on the fresh ring) or mask.
+    fn write_slot_verified(
+        &mut self,
+        r: usize,
+        c: usize,
+        w: f64,
+        policy: &WriteVerifyPolicy,
+        rng: &mut StdRng,
+        report: &mut ProgramReport,
+    ) -> Result<bool, ArchError> {
+        let idx = r * self.cols + c;
+        for remapped_retry in [false, true] {
+            match self.rings[idx].set_weight_verified(w, &self.lut, policy, rng) {
+                Ok(wr) => {
+                    report.energy += wr.energy;
+                    if wr.time.value() > report.time.value() {
+                        report.time = wr.time;
+                    }
+                    report.pulses += u64::from(wr.pulses);
+                    if wr.pulses > 0 {
+                        report.cells_written += 1;
+                        if wr.pulses > 1 {
+                            report.retried_cells += 1;
+                        }
+                        self.refresh_ring_cache(r, c);
+                        return Ok(true);
+                    }
+                    return Ok(remapped_retry);
+                }
+                Err(
+                    e @ (PcmError::StuckCell { .. }
+                    | PcmError::WriteVerifyFailed { .. }
+                    | PcmError::WornOut { .. }),
+                ) => {
+                    if !remapped_retry && self.remap_slot(r, c).is_ok() {
+                        report.remapped += 1;
+                        continue; // retry once on the fresh spare
+                    }
+                    report.failures.push((r, c, e));
+                    self.mask_slot(r, c);
+                    report.masked += 1;
+                    return Ok(true);
+                }
+                // Out-of-range weights etc. are caller bugs, not faults.
+                Err(e) => return Err(e.into()),
+            }
+        }
+        unreachable!("the remap retry loop always returns")
+    }
+
+    /// Replace the ring at `(r, c)` with one of the row's spares (a fresh
+    /// nominal ring heater-trimmed onto the slot's channel). Does not
+    /// recompute the response — callers batch that.
+    fn remap_slot(&mut self, r: usize, c: usize) -> Result<(), ArchError> {
+        if self.spares[r] == 0 {
+            return Err(ArchError::SparesExhausted { row: r, col: c });
+        }
+        self.spares[r] -= 1;
+        self.remapped += 1;
+        let idx = r * self.cols + c;
+        self.rings[idx] =
+            PcmMrr::new(AddDropMrr::new(self.geometry, self.grid.channel(c)), self.params);
+        self.masked[idx] = false;
+        self.refresh_ring_cache(r, c);
+        Ok(())
+    }
+
+    /// Mark `(r, c)` dead without recomputing the response.
+    fn mask_slot(&mut self, r: usize, c: usize) {
+        self.masked[r * self.cols + c] = true;
+        self.refresh_ring_cache(r, c);
+    }
+
+    /// Remap the ring at `(r, c)` onto a spare and refresh the optics.
+    pub fn remap_ring(&mut self, r: usize, c: usize) -> Result<(), ArchError> {
+        self.remap_slot(r, c)?;
+        self.recompute_response();
+        Ok(())
+    }
+
+    /// Mask the slot at `(r, c)` as dead: the ring is detuned off the bus
+    /// and the receiver cancels its channel for this row (zero weight).
+    pub fn mask_ring(&mut self, r: usize, c: usize) {
+        self.mask_slot(r, c);
+        self.recompute_response();
+    }
+
+    /// Pin the GST cell at `(r, c)` in a hard fault state and refresh the
+    /// optics (the cell's transfer snaps to the stuck phase).
+    pub fn inject_ring_fault(&mut self, r: usize, c: usize, fault: GstFault) {
+        self.rings[r * self.cols + c].inject_fault(fault);
+        self.refresh_ring_cache(r, c);
+        self.recompute_response();
+    }
+
+    /// Age every GST cell by `years` of crystallinity drift and refresh
+    /// the optics.
+    pub fn age(&mut self, years: f64) {
+        for ring in &mut self.rings {
+            ring.age(years);
+        }
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                self.refresh_ring_cache(r, k);
+            }
+        }
+        self.recompute_response();
+    }
+
+    /// Whether the slot at `(r, c)` has been masked out.
+    pub fn is_masked(&self, r: usize, c: usize) -> bool {
+        self.masked[r * self.cols + c]
+    }
+
+    /// Slots currently masked out.
+    pub fn masked_count(&self) -> usize {
+        self.masked.iter().filter(|&&m| m).count()
+    }
+
+    /// Spare rings still available in row `r`.
+    pub fn spares_remaining(&self, r: usize) -> usize {
+        self.spares[r]
+    }
+
+    /// Override the per-row spare-ring budget (applies to rows that have
+    /// not yet consumed spares beyond the new budget).
+    pub fn set_spares_per_row(&mut self, spares: usize) {
+        for s in &mut self.spares {
+            *s = spares;
+        }
+    }
+
+    /// Faulty or worn cells replaced by spares so far.
+    pub fn remapped_count(&self) -> u64 {
+        self.remapped
+    }
+
+    /// Writes rejected by stuck cells or failed by verify, summed over
+    /// every ring currently in the bank.
+    pub fn write_failures(&self) -> u64 {
+        self.rings.iter().map(PcmMrr::write_failures).sum()
     }
 
     /// Recompute the linear rail response of every row from the per-ring
@@ -197,6 +508,16 @@ impl WeightBank {
     fn recompute_response(&mut self) {
         for r in 0..self.rows {
             for j in 0..self.cols {
+                // A masked ring passes its own channel straight to the
+                // through rail, which a balanced detector would read as a
+                // hard negative weight. The receiver therefore cancels the
+                // dead channel electronically (per-row calibration offset):
+                // the column contributes exactly zero to this row.
+                if self.masked[r * self.cols + j] {
+                    self.drop_coeff[r * self.cols + j] = 0.0;
+                    self.through_coeff[r * self.cols + j] = 0.0;
+                    continue;
+                }
                 let mut p = 1.0; // unit input power on channel j
                 let mut dropped = 0.0;
                 for k in 0..self.cols {
@@ -240,17 +561,22 @@ impl WeightBank {
     /// `(r, c)` on its own channel, including the attenuation of the other
     /// rings on the row. Approximately `scale · w(r, c)`.
     pub fn ring_readout(&self, r: usize, c: usize) -> f64 {
-        let lambda = self.grid.channel(c);
+        if self.masked[r * self.cols + c] {
+            return 0.0; // dead slot: channel cancelled at the receiver
+        }
+        // The per-ring cache already encodes masking (masked neighbours
+        // are transparent), so read the row's attenuation from it.
+        let at = |k: usize| self.transfer_cache[(r * self.cols + k) * self.cols + c];
         let mut upstream = 1.0;
         for k in 0..c {
-            upstream *= self.ring(r, k).transfer(lambda).through;
+            upstream *= at(k).1;
         }
-        let own = self.ring(r, c).transfer(lambda);
+        let (own_drop, own_through) = at(c);
         let mut downstream = 1.0;
         for k in (c + 1)..self.cols {
-            downstream *= self.ring(r, k).transfer(lambda).through;
+            downstream *= at(k).1;
         }
-        (upstream * own.drop - upstream * own.through * downstream) / self.lut.scale()
+        (upstream * own_drop - upstream * own_through * downstream) / self.lut.scale()
     }
 
     /// Total optical energy delivered to the bank's GST cells so far.
@@ -266,6 +592,12 @@ impl WeightBank {
     /// Total individual ring writes so far.
     pub fn ring_writes(&self) -> u64 {
         self.rings.iter().map(PcmMrr::write_count).sum()
+    }
+
+    /// The most-written ring's write count (wear-leveling telemetry: the
+    /// invariant tests assert this never exceeds the endurance rating).
+    pub fn max_ring_writes(&self) -> u64 {
+        self.rings.iter().map(PcmMrr::write_count).max().unwrap_or(0)
     }
 }
 
@@ -417,5 +749,126 @@ mod tests {
         let row = [0.0f64; 3];
         let rows: Vec<&[f64]> = vec![&row; 4];
         b.program(&rows);
+    }
+
+    // ---- fault-aware programming and graceful degradation ----
+
+    use rand::SeedableRng;
+    use trident_pcm::PcmError;
+
+    fn verified_program(b: &mut WeightBank, w: &[f64], seed: u64) -> ProgramReport {
+        let policy = WriteVerifyPolicy::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        b.try_program_verified(w, &policy, &mut rng).expect("shape is valid")
+    }
+
+    #[test]
+    fn verified_program_matches_ideal_writes() {
+        let mut ideal = bank4();
+        let mut verified = bank4();
+        let w = [
+            [0.5, -0.25, 0.0, 1.0],
+            [-1.0, 0.75, 0.3, -0.1],
+            [0.2, -0.9, 0.6, 0.0],
+            [0.9, 0.9, -0.9, -0.9],
+        ];
+        program(&mut ideal, &w);
+        let flat: Vec<f64> = w.iter().flatten().copied().collect();
+        let report = verified_program(&mut verified, &flat, 3);
+        // Every cell except those already at their target level (a fresh
+        // cell is amorphous = level 0, i.e. w = +1) costs write pulses.
+        assert!(report.cells_written >= 15, "wrote {}", report.cells_written);
+        assert!(report.failures.is_empty());
+        assert!(report.pulses >= report.cells_written as u64);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert!(
+                    (ideal.weight(r, c) - verified.weight(r, c)).abs() < 1e-9,
+                    "({r},{c}): verified landed on a different level"
+                );
+            }
+        }
+        let y_ideal = ideal.mvm(&[1.0, 0.5, 0.25, 0.75]);
+        let y_verified = verified.mvm(&[1.0, 0.5, 0.25, 0.75]);
+        for r in 0..4 {
+            assert!(
+                (y_ideal[r] - y_verified[r]).abs() < 0.01,
+                "row {r}: {} vs {}",
+                y_ideal[r],
+                y_verified[r]
+            );
+        }
+    }
+
+    #[test]
+    fn verified_program_rejects_wrong_shape_with_typed_error() {
+        let mut b = bank4();
+        let policy = WriteVerifyPolicy::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = b.try_program_verified(&[0.0; 7], &policy, &mut rng).unwrap_err();
+        assert!(matches!(err, ArchError::ShapeMismatch { expected: 16, got: 7 }));
+    }
+
+    #[test]
+    fn stuck_cell_remaps_onto_a_spare() {
+        let mut b = bank4();
+        b.inject_ring_fault(1, 2, GstFault::StuckAmorphous);
+        let w: Vec<f64> = (0..16).map(|i| (i as f64) / 16.0 - 0.5).collect();
+        let report = verified_program(&mut b, &w, 7);
+        assert_eq!(report.remapped, 1, "the stuck cell must move to a spare");
+        assert_eq!(report.masked, 0);
+        assert_eq!(b.spares_remaining(1), DEFAULT_SPARES_PER_ROW - 1);
+        assert!(!b.is_masked(1, 2));
+        // The remapped slot holds its weight like any healthy cell.
+        assert!((b.weight(1, 2) - w[6]).abs() < 0.01, "got {}", b.weight(1, 2));
+    }
+
+    #[test]
+    fn exhausted_spares_mask_the_slot() {
+        let mut b = bank4();
+        b.set_spares_per_row(0);
+        b.inject_ring_fault(0, 1, GstFault::StuckCrystalline);
+        let w = vec![0.5; 16];
+        let report = verified_program(&mut b, &w, 5);
+        assert_eq!(report.remapped, 0);
+        assert_eq!(report.masked, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert!(matches!(report.failures[0], (0, 1, PcmError::StuckCell { .. })));
+        assert!(b.is_masked(0, 1));
+        assert_eq!(b.weight(0, 1), 0.0);
+        assert_eq!(b.ring_readout(0, 1), 0.0);
+        // The masked column contributes nothing to its row...
+        let mut x = vec![0.0; 4];
+        x[1] = 1.0;
+        let y = b.mvm(&x);
+        assert!(y[0].abs() < 1e-9, "masked column leaked {} into row 0", y[0]);
+        // ...while healthy rows still see the channel.
+        assert!((y[1] - 0.5).abs() < 0.05, "row 1 should read 0.5, got {}", y[1]);
+        // Reprogramming skips the dead slot without failing.
+        let report = verified_program(&mut b, &w, 6);
+        assert!(report.failures.is_empty());
+    }
+
+    #[test]
+    fn wear_leveling_retires_cells_before_the_endurance_cliff() {
+        let params =
+            GstParameters { endurance_cycles: 60, ..GstParameters::default() };
+        let mut b = WeightBank::new(2, 2, params);
+        // Alternate between two matrices so every write really pulses.
+        let wa = vec![0.5, -0.5, 0.25, -0.25];
+        let wb = vec![-0.5, 0.5, -0.25, 0.25];
+        for i in 0..30 {
+            let w = if i % 2 == 0 { &wa } else { &wb };
+            verified_program(&mut b, w, 100 + i as u64);
+        }
+        // The hard invariant: no cell — original or spare — is ever
+        // programmed past its rated endurance; worn cells retire to
+        // spares first and masking absorbs the rest.
+        assert!(
+            b.max_ring_writes() <= 60,
+            "wear-leveling let a cell exceed its endurance budget: {}",
+            b.max_ring_writes()
+        );
+        assert!(b.remapped_count() > 0, "worn cells should have been remapped");
     }
 }

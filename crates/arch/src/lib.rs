@@ -38,6 +38,8 @@ pub mod conv_engine;
 pub mod design_space;
 pub mod dfa;
 pub mod endurance;
+pub mod error;
+pub mod faults;
 pub mod fidelity;
 pub mod engine;
 pub mod mapper;
@@ -48,8 +50,10 @@ pub mod power;
 pub mod training;
 pub mod variation;
 
-pub use bank::WeightBank;
+pub use bank::{ProgramReport, WeightBank};
 pub use config::TridentConfig;
+pub use error::ArchError;
+pub use faults::{FaultCampaign, FaultCampaignRow, FaultPlan, FaultReport};
 pub use mapper::DeploymentPlan;
 pub use pipeline::PipelineReport;
 pub use conv_engine::PhotonicCnn;

@@ -20,10 +20,12 @@
 //! "utilize the entire weight bank and perform N outer products": all `N`
 //! ring products of a `δW` row emerge in parallel, one row per symbol).
 
-use crate::bank::WeightBank;
+use crate::bank::{ProgramReport, WeightBank};
+use crate::error::ArchError;
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use trident_pcm::activation::{ActivationCellParams, GstActivationCell};
-use trident_pcm::gst::GstParameters;
+use trident_pcm::gst::{GstParameters, WriteVerifyPolicy};
 use trident_pcm::ldsu::Ldsu;
 use trident_photonics::detector::TransimpedanceAmplifier;
 use trident_photonics::laser::EoModulator;
@@ -83,6 +85,9 @@ pub struct ProcessingElement {
     symbol_time: Nanoseconds,
     energy: EnergyLedger,
     elapsed: Nanoseconds,
+    /// Fractional loss of input laser power (0 = healthy source). An aged
+    /// or degraded pump scales every detected product down uniformly.
+    laser_droop: f64,
 }
 
 impl ProcessingElement {
@@ -124,6 +129,7 @@ impl ProcessingElement {
             symbol_time,
             energy: EnergyLedger::new(),
             elapsed: Nanoseconds(0.0),
+            laser_droop: 0.0,
         }
     }
 
@@ -142,6 +148,23 @@ impl ProcessingElement {
         &self.bank
     }
 
+    /// Mutable access to the bank — the fault-injection entry point.
+    pub fn bank_mut(&mut self) -> &mut WeightBank {
+        &mut self.bank
+    }
+
+    /// Degrade the PE's input laser by a fractional power `droop ∈ [0, 1)`
+    /// (0 restores a healthy source).
+    pub fn set_laser_droop(&mut self, droop: f64) {
+        assert!((0.0..1.0).contains(&droop), "droop {droop} outside [0, 1)");
+        self.laser_droop = droop;
+    }
+
+    /// Current fractional laser-power droop.
+    pub fn laser_droop(&self) -> f64 {
+        self.laser_droop
+    }
+
     /// Program the bank from a flat row-major matrix.
     pub fn program(&mut self, weights: &[f64]) {
         let (energy, time) = self.bank.program_flat(weights);
@@ -151,9 +174,34 @@ impl ProcessingElement {
         }
     }
 
+    /// Fault-aware programming: route every weight through the bank's
+    /// bounded-retry program-and-verify path, remapping or masking cells
+    /// the hardware can no longer hold (see
+    /// [`WeightBank::try_program_verified`]).
+    pub fn program_verified(
+        &mut self,
+        weights: &[f64],
+        policy: &WriteVerifyPolicy,
+        rng: &mut StdRng,
+    ) -> Result<ProgramReport, ArchError> {
+        let report = self.bank.try_program_verified(weights, policy, rng)?;
+        if report.energy.value() > 0.0 {
+            self.energy.charge("gst write", report.energy);
+            self.elapsed += report.time;
+        }
+        Ok(report)
+    }
+
     /// Unsigned optical MVM: `x[j] ∈ [0, 1]`, returns per-row dot products.
     pub fn mvm_unsigned(&mut self, x: &[f64]) -> Vec<f64> {
         let mut y = self.bank.mvm(x);
+        if self.laser_droop > 0.0 {
+            // A drooped pump delivers less power on every channel; all
+            // detected dot products shrink by the same factor.
+            for v in &mut y {
+                *v *= 1.0 - self.laser_droop;
+            }
+        }
         // Receiver noise: convert current noise to normalized units via
         // the 1 mW full-scale channel power and the LUT scale.
         let total_power = trident_photonics::units::PowerMw(x.iter().sum::<f64>());

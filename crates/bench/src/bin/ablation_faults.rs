@@ -1,0 +1,12 @@
+//! Fault-injection campaign: inject stuck GST cells into a trained chip,
+//! measure the raw accuracy hit, then let the graceful-degradation stack
+//! (program-and-verify writes, spare-ring remap, dead-channel masking,
+//! in-situ fine-tuning) recover what it can.
+//!
+//! Usage: `ablation_faults [per_class] [trials]` (defaults 4, 3).
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_class: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    print!("{}", trident::experiments::ablations::faults::render(per_class, trials));
+}

@@ -33,10 +33,10 @@ fn usage() -> ! {
 
 fn model_arg(arg: Option<String>) -> ModelSpec {
     let Some(name) = arg else { usage() };
-    match zoo::by_name(&name) {
-        Some(m) => m,
-        None => {
-            eprintln!("unknown model {name:?}");
+    match zoo::try_by_name(&name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
             usage()
         }
     }

@@ -6,6 +6,7 @@
 //! The photonic engine in `trident-arch` mirrors exactly these semantics
 //! device-by-device, and the integration tests diff the two.
 
+use crate::error::NnError;
 use crate::linalg;
 use crate::optim::Sgd;
 use crate::tensor::Tensor;
@@ -76,12 +77,25 @@ impl Activation {
 }
 
 /// A trainable layer.
+///
+/// The fallible `try_forward`/`try_backward` pair is the required core:
+/// shape violations and ordering mistakes surface as typed [`NnError`]s.
+/// The infallible `forward`/`backward` wrappers keep the ergonomic
+/// fail-fast API for code whose shapes are correct by construction.
 pub trait Layer: Send {
     /// Forward pass over a batch; caches whatever backward needs.
-    fn forward(&mut self, x: &Tensor) -> Tensor;
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError>;
     /// Backward pass: consume `dL/d(output)`, accumulate parameter
     /// gradients, return `dL/d(input)`.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+    /// Infallible forward: panics on the errors `try_forward` reports.
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.try_forward(x).unwrap_or_else(|e| panic!("{e}"))
+    }
+    /// Infallible backward: panics on the errors `try_backward` reports.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.try_backward(grad_out).unwrap_or_else(|e| panic!("{e}"))
+    }
     /// Apply (and clear) accumulated gradients with the optimizer.
     fn update(&mut self, _opt: &Sgd) {}
     /// Human-readable layer kind.
@@ -90,6 +104,18 @@ pub trait Layer: Send {
     fn param_count(&self) -> usize {
         0
     }
+}
+
+/// Shape guard: `[batch, c, h, w]` input for the 4-D layers.
+fn require_4d(layer: &'static str, x: &Tensor) -> Result<(), NnError> {
+    if x.ndim() != 4 {
+        return Err(NnError::ShapeMismatch {
+            layer,
+            expected: "[batch, c, h, w]".into(),
+            got: x.shape().to_vec(),
+        });
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -150,9 +176,14 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.ndim(), 2, "dense input must be [batch, features]");
-        assert_eq!(x.shape()[1], self.in_features(), "dense input width mismatch");
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.ndim() != 2 || x.shape()[1] != self.in_features() {
+            return Err(NnError::ShapeMismatch {
+                layer: "dense",
+                expected: format!("[batch, {}]", self.in_features()),
+                got: x.shape().to_vec(),
+            });
+        }
         self.cached_input = Some(x.clone());
         // y = x Wᵀ : [batch, out]
         let wt = self.weights.transposed();
@@ -165,12 +196,21 @@ impl Layer for Dense {
                 }
             }
         }
-        y
+        Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward");
-        assert_eq!(grad_out.shape()[0], x.shape()[0], "batch mismatch in dense backward");
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "dense" })?;
+        if grad_out.ndim() != 2 || grad_out.shape()[0] != x.shape()[0] {
+            return Err(NnError::ShapeMismatch {
+                layer: "dense",
+                expected: format!("[{}, {}] upstream gradient", x.shape()[0], self.out_features()),
+                got: grad_out.shape().to_vec(),
+            });
+        }
         // dW = gradᵀ · x : [out, in]
         let gt = grad_out.transposed();
         let dw = linalg::matmul(&gt, x);
@@ -183,7 +223,7 @@ impl Layer for Dense {
             }
         }
         // dX = grad · W : [batch, in]
-        linalg::matmul(grad_out, &self.weights)
+        Ok(linalg::matmul(grad_out, &self.weights))
     }
 
     fn update(&mut self, opt: &Sgd) {
@@ -229,14 +269,24 @@ impl ActivationLayer {
 }
 
 impl Layer for ActivationLayer {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
         self.cached_logits = Some(x.clone());
-        x.map(|v| self.act.forward(v))
+        Ok(x.map(|v| self.act.forward(v)))
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let h = self.cached_logits.as_ref().expect("backward before forward");
-        grad_out.zip_map(h, |g, hv| g * self.act.derivative(hv))
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let h = self
+            .cached_logits
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "activation" })?;
+        if grad_out.shape() != h.shape() {
+            return Err(NnError::ShapeMismatch {
+                layer: "activation",
+                expected: format!("{:?} upstream gradient", h.shape()),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        Ok(grad_out.zip_map(h, |g, hv| g * self.act.derivative(hv)))
     }
 
     fn name(&self) -> &'static str {
@@ -304,7 +354,6 @@ impl Conv2d {
     /// im2col: `[batch·oh·ow, in_c·k·k]` patch matrix.
     fn im2col(&self, x: &Tensor) -> Tensor {
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        assert_eq!(c, self.in_channels, "conv input channel mismatch");
         let (oh, ow) = self.output_hw(h, w);
         let patch = self.in_channels * self.kernel * self.kernel;
         let mut cols = Tensor::zeros(&[n * oh * ow, patch]);
@@ -363,8 +412,15 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.ndim(), 4, "conv input must be [batch, c, h, w]");
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("conv2d", x)?;
+        if x.shape()[1] != self.in_channels {
+            return Err(NnError::ShapeMismatch {
+                layer: "conv2d",
+                expected: format!("[batch, {}, h, w]", self.in_channels),
+                got: x.shape().to_vec(),
+            });
+        }
         let (n, _, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.output_hw(h, w);
         let cols = self.im2col(x);
@@ -385,12 +441,15 @@ impl Layer for Conv2d {
                 }
             }
         }
-        y
+        Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward");
-        let cols = self.cached_cols.as_ref().expect("backward before forward");
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("conv2d", grad_out)?;
+        let (x, cols) = match (&self.cached_input, &self.cached_cols) {
+            (Some(x), Some(cols)) => (x, cols),
+            _ => return Err(NnError::BackwardBeforeForward { layer: "conv2d" }),
+        };
         let (n, _, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.output_hw(h, w);
         // Flatten grad to [n·oh·ow, out_c].
@@ -411,7 +470,7 @@ impl Layer for Conv2d {
         self.grad_w.axpy(1.0, &dw);
         // dCols = grad_cols × W : [n·oh·ow, patch] → col2im
         let dcols = linalg::matmul(&grad_cols, &self.weights);
-        self.col2im(&dcols, n, h, w)
+        Ok(self.col2im(&dcols, n, h, w))
     }
 
     fn update(&mut self, opt: &Sgd) {
@@ -450,8 +509,8 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.ndim(), 4, "pool input must be [batch, c, h, w]");
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("maxpool2d", x)?;
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let oh = (h - self.size) / self.stride + 1;
         let ow = (w - self.size) / self.stride + 1;
@@ -484,17 +543,19 @@ impl Layer for MaxPool2d {
         }
         self.cached_input_shape = Some(x.shape().to_vec());
         self.cached_argmax = Some(argmax);
-        y
+        Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_input_shape.as_ref().expect("backward before forward");
-        let argmax = self.cached_argmax.as_ref().expect("backward before forward");
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let (shape, argmax) = match (&self.cached_input_shape, &self.cached_argmax) {
+            (Some(s), Some(a)) => (s, a),
+            _ => return Err(NnError::BackwardBeforeForward { layer: "maxpool2d" }),
+        };
         let mut gx = Tensor::zeros(shape);
         for (&flat, &g) in argmax.iter().zip(grad_out.data()) {
             gx.data_mut()[flat] += g;
         }
-        gx
+        Ok(gx)
     }
 
     fn name(&self) -> &'static str {
@@ -523,8 +584,8 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.ndim(), 4, "pool input must be [batch, c, h, w]");
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("avgpool2d", x)?;
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let oh = (h - self.size) / self.stride + 1;
         let ow = (w - self.size) / self.stride + 1;
@@ -546,11 +607,15 @@ impl Layer for AvgPool2d {
             }
         }
         self.cached_input_shape = Some(x.shape().to_vec());
-        y
+        Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_input_shape.clone().expect("backward before forward");
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("avgpool2d", grad_out)?;
+        let shape = self
+            .cached_input_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward { layer: "avgpool2d" })?;
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
         let inv = 1.0 / (self.size * self.size) as f32;
@@ -572,7 +637,7 @@ impl Layer for AvgPool2d {
                 }
             }
         }
-        gx
+        Ok(gx)
     }
 
     fn name(&self) -> &'static str {
@@ -594,8 +659,8 @@ impl GlobalAvgPool {
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.ndim(), 4, "pool input must be [batch, c, h, w]");
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("global_avgpool", x)?;
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let inv = 1.0 / (h * w) as f32;
         let mut y = Tensor::zeros(&[n, c]);
@@ -611,12 +676,22 @@ impl Layer for GlobalAvgPool {
             }
         }
         self.cached_input_shape = Some(x.shape().to_vec());
-        y
+        Ok(y)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_input_shape.clone().expect("backward before forward");
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .cached_input_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward { layer: "global_avgpool" })?;
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        if grad_out.ndim() != 2 || grad_out.shape() != [n, c] {
+            return Err(NnError::ShapeMismatch {
+                layer: "global_avgpool",
+                expected: format!("[{n}, {c}] upstream gradient"),
+                got: grad_out.shape().to_vec(),
+            });
+        }
         let inv = 1.0 / (h * w) as f32;
         let mut gx = Tensor::zeros(&shape);
         for b in 0..n {
@@ -629,7 +704,7 @@ impl Layer for GlobalAvgPool {
                 }
             }
         }
-        gx
+        Ok(gx)
     }
 
     fn name(&self) -> &'static str {
@@ -655,16 +730,26 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.ndim() == 0 || x.shape()[0] == 0 {
+            return Err(NnError::ShapeMismatch {
+                layer: "flatten",
+                expected: "[batch, ...] with batch > 0".into(),
+                got: x.shape().to_vec(),
+            });
+        }
         let batch = x.shape()[0];
         let features = x.len() / batch;
         self.cached_shape = Some(x.shape().to_vec());
-        x.clone().reshape(&[batch, features])
+        Ok(x.clone().reshape(&[batch, features]))
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_shape.clone().expect("backward before forward");
-        grad_out.clone().reshape(&shape)
+    fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .cached_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward { layer: "flatten" })?;
+        Ok(grad_out.clone().reshape(&shape))
     }
 
     fn name(&self) -> &'static str {
@@ -875,6 +960,57 @@ mod tests {
             let fd = (pool.forward(&xp).sum() - pool.forward(&xm).sum()) / (2.0 * eps);
             assert!((fd - g.data()[i]).abs() < 1e-3, "avgpool grad mismatch at {i}");
         }
+    }
+
+    #[test]
+    fn shape_violations_surface_as_typed_errors() {
+        let mut rng = seeded_rng(11);
+        let mut d = Dense::new(3, 4, &mut rng);
+        let narrow = Tensor::zeros(&[2, 5]);
+        match d.try_forward(&narrow) {
+            Err(NnError::ShapeMismatch { layer: "dense", got, .. }) => assert_eq!(got, vec![2, 5]),
+            other => panic!("expected dense shape error, got {other:?}"),
+        }
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let flat = Tensor::zeros(&[2, 27]);
+        assert!(matches!(
+            conv.try_forward(&flat),
+            Err(NnError::ShapeMismatch { layer: "conv2d", .. })
+        ));
+        let wrong_channels = Tensor::zeros(&[1, 5, 8, 8]);
+        assert!(matches!(
+            conv.try_forward(&wrong_channels),
+            Err(NnError::ShapeMismatch { layer: "conv2d", .. })
+        ));
+    }
+
+    #[test]
+    fn backward_before_forward_is_a_typed_error() {
+        let mut d = Dense::from_weights(Tensor::from_vec(&[1, 2], vec![1.0, -1.0]));
+        assert_eq!(
+            d.try_backward(&Tensor::zeros(&[1, 1])),
+            Err(NnError::BackwardBeforeForward { layer: "dense" })
+        );
+        let mut pool = MaxPool2d::new(2, 2);
+        assert_eq!(
+            pool.try_backward(&Tensor::zeros(&[1, 1, 1, 1])),
+            Err(NnError::BackwardBeforeForward { layer: "maxpool2d" })
+        );
+        let mut f = Flatten::new();
+        assert_eq!(
+            f.try_backward(&Tensor::zeros(&[1, 1])),
+            Err(NnError::BackwardBeforeForward { layer: "flatten" })
+        );
+    }
+
+    #[test]
+    fn try_forward_matches_infallible_forward() {
+        let mut rng = seeded_rng(12);
+        let mut d = Dense::new(2, 3, &mut rng);
+        let x = Tensor::from_vec(&[1, 3], vec![0.1, 0.2, 0.3]);
+        let fallible = d.try_forward(&x).expect("valid shape");
+        let infallible = d.forward(&x);
+        assert_eq!(fallible.data(), infallible.data());
     }
 
     #[test]

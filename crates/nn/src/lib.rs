@@ -29,6 +29,7 @@
 #![deny(unsafe_code)]
 
 pub mod data;
+pub mod error;
 pub mod init;
 pub mod layers;
 pub mod linalg;
@@ -39,6 +40,7 @@ pub mod optim;
 pub mod quant;
 pub mod tensor;
 
+pub use error::NnError;
 pub use layers::{Activation, ActivationLayer, AvgPool2d, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d};
 pub use loss::{mse, softmax_cross_entropy};
 pub use metrics::{top_k_accuracy, ConfusionMatrix};

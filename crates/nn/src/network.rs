@@ -1,5 +1,6 @@
 //! Sequential model container: the float training reference.
 
+use crate::error::NnError;
 use crate::layers::Layer;
 use crate::loss::softmax_cross_entropy;
 use crate::optim::Sgd;
@@ -49,12 +50,31 @@ impl Sequential {
 
     /// Forward pass over a batch.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.layers.iter_mut().fold(x.clone(), |h, layer| layer.forward(&h))
+        self.try_forward(x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible forward pass: the first layer whose shape check fails
+    /// reports a typed [`NnError`] instead of aborting.
+    pub fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.try_forward(&h)?;
+        }
+        Ok(h)
     }
 
     /// Backward pass from an output gradient; returns the input gradient.
     pub fn backward(&mut self, grad: &Tensor) -> Tensor {
-        self.layers.iter_mut().rev().fold(grad.clone(), |g, layer| layer.backward(&g))
+        self.try_backward(grad).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible backward pass mirroring [`Sequential::try_forward`].
+    pub fn try_backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.try_backward(&g)?;
+        }
+        Ok(g)
     }
 
     /// Apply accumulated gradients.
@@ -67,14 +87,26 @@ impl Sequential {
     /// One supervised step on a batch: forward, cross-entropy, backward,
     /// update. Returns the batch loss.
     pub fn train_step(&mut self, x: &Tensor, labels: &[usize], opt: &Sgd) -> f32 {
-        let logits = self.forward(x);
-        let (loss, grad) = softmax_cross_entropy(&logits, labels);
-        self.backward(&grad);
-        self.update(opt);
-        loss
+        self.try_train_step(x, labels, opt).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Predicted class per batch row.
+    /// Fallible training step: shape violations anywhere in the stack
+    /// surface as typed errors before any parameter is touched.
+    pub fn try_train_step(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        opt: &Sgd,
+    ) -> Result<f32, NnError> {
+        let logits = self.try_forward(x)?;
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        self.try_backward(&grad)?;
+        self.update(opt);
+        Ok(loss)
+    }
+
+    /// Predicted class per batch row (NaN-safe argmax: a row of NaNs
+    /// predicts class 0 rather than panicking).
     pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
         let logits = self.forward(x);
         (0..logits.shape()[0])
@@ -82,9 +114,9 @@ impl Sequential {
                 let row = logits.row(r);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
-                    .unwrap()
+                    .unwrap_or(0)
             })
             .collect()
     }
@@ -204,6 +236,22 @@ mod tests {
             "CNN accuracy {}",
             net.accuracy(&images, &data.labels)
         );
+    }
+
+    #[test]
+    fn sequential_propagates_layer_errors() {
+        use crate::error::NnError;
+        let mut net = tiny_mlp(5, 4, 8, 3);
+        let wrong = Tensor::zeros(&[2, 7]);
+        match net.try_forward(&wrong) {
+            Err(NnError::ShapeMismatch { layer: "dense", got, .. }) => {
+                assert_eq!(got, vec![2, 7]);
+            }
+            other => panic!("expected a dense shape error, got {other:?}"),
+        }
+        // A valid batch still flows after the rejected one.
+        let ok = net.try_forward(&Tensor::zeros(&[2, 4])).expect("valid shape");
+        assert_eq!(ok.shape(), &[2, 3]);
     }
 
     #[test]

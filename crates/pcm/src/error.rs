@@ -1,0 +1,102 @@
+//! Typed errors for the PCM device layer.
+//!
+//! Injected faults and write-path failures surface as recoverable
+//! [`PcmError`] values instead of panics, so the architecture layer can
+//! remap, mask, or retrain around a bad cell (hand-written `Display` /
+//! `Error` impls — the offline build has no `thiserror`).
+
+use crate::gst::GstFault;
+use std::fmt;
+
+/// Everything that can go wrong talking to a GST cell or weight unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PcmError {
+    /// Requested level index is outside the device's level grid.
+    LevelOutOfRange {
+        /// The requested level.
+        level: u16,
+        /// The number of representable levels.
+        levels: u16,
+    },
+    /// Requested crystallinity is outside `[0, 1]`.
+    CrystallinityOutOfRange(f64),
+    /// Requested normalized weight is outside `[-1, 1]`.
+    WeightOutOfRange(f64),
+    /// The cell has consumed its switching-cycle endurance budget.
+    WornOut {
+        /// Programming cycles performed.
+        writes: u64,
+        /// The cell's rated endurance.
+        endurance: u64,
+    },
+    /// The cell is stuck in one phase and cannot leave it.
+    StuckCell {
+        /// The injected (or wear-induced) fault.
+        fault: GstFault,
+        /// The level requested by the rejected write.
+        requested_level: u16,
+    },
+    /// Program-and-verify exhausted its retry budget without the read-back
+    /// confirming the target state.
+    WriteVerifyFailed {
+        /// The level being programmed.
+        level: u16,
+        /// The target crystallinity.
+        target: f64,
+        /// The crystallinity actually reached.
+        achieved: f64,
+        /// Pulses spent before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for PcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::LevelOutOfRange { level, levels } => {
+                write!(f, "level {level} out of range (device has {levels} levels)")
+            }
+            Self::CrystallinityOutOfRange(c) => {
+                write!(f, "crystallinity {c} outside [0, 1]")
+            }
+            Self::WeightOutOfRange(w) => write!(f, "weight {w} outside [-1, 1]"),
+            Self::WornOut { writes, endurance } => {
+                write!(f, "cell worn out after {writes} writes (endurance {endurance})")
+            }
+            Self::StuckCell { fault, requested_level } => {
+                write!(f, "cell stuck {fault}; write to level {requested_level} rejected")
+            }
+            Self::WriteVerifyFailed { level, target, achieved, attempts } => write!(
+                f,
+                "program-and-verify failed for level {level}: reached \
+                 crystallinity {achieved:.6} vs target {target:.6} after {attempts} pulses"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PcmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_key_facts() {
+        let e = PcmError::WriteVerifyFailed { level: 7, target: 0.25, achieved: 0.2, attempts: 24 };
+        let s = e.to_string();
+        assert!(s.contains("level 7") && s.contains("24 pulses"), "{s}");
+        let s = PcmError::StuckCell {
+            fault: GstFault::StuckAmorphous,
+            requested_level: 3,
+        }
+        .to_string();
+        assert!(s.contains("amorphous"), "{s}");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(PcmError::WeightOutOfRange(1.5));
+        assert!(e.to_string().contains("1.5"));
+    }
+}

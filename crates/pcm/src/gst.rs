@@ -12,7 +12,11 @@
 //! * read: ~20 pJ probe pulse,
 //! * hold: zero — this is the property the whole architecture leans on.
 
+use crate::error::PcmError;
+use rand::rngs::StdRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use trident_photonics::units::{EnergyPj, Nanoseconds};
 
 /// Device-level constants for a GST cell.
@@ -79,6 +83,72 @@ impl GstParameters {
     }
 }
 
+/// A hard device fault pinning a cell in one phase.
+///
+/// Stuck-at faults are the dominant hard-failure mode of multi-level PCM:
+/// a cell that can no longer be amorphized (heater open, residual
+/// crystalline filament) or no longer crystallized (delaminated film)
+/// ignores programming pulses. Injected via [`GstCell::inject_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GstFault {
+    /// Pinned fully amorphous (transparent, `w = +1` territory).
+    StuckAmorphous,
+    /// Pinned fully crystalline (absorbing, `w = -1` territory).
+    StuckCrystalline,
+}
+
+impl fmt::Display for GstFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::StuckAmorphous => write!(f, "at-amorphous"),
+            Self::StuckCrystalline => write!(f, "at-crystalline"),
+        }
+    }
+}
+
+/// Knobs of the closed-loop program-and-verify write sequence.
+///
+/// Each iteration applies a partial programming pulse that corrects a
+/// fraction of the remaining crystallinity error (with stochastic gain
+/// jitter — real pulses never land exactly), then verifies with a
+/// read-back probe. Retries escalate the pulse energy, mirroring how
+/// multi-level PCM programmers widen/strengthen pulses as they converge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteVerifyPolicy {
+    /// Maximum write pulses before the write is declared failed.
+    pub max_attempts: u32,
+    /// Fraction of the remaining crystallinity error corrected per pulse.
+    pub pulse_gain: f64,
+    /// Relative 1σ jitter on the per-pulse gain.
+    pub gain_jitter_sigma: f64,
+    /// Multiplier on pulse energy for each successive retry.
+    pub energy_escalation: f64,
+}
+
+impl Default for WriteVerifyPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 24,
+            pulse_gain: 0.7,
+            gain_jitter_sigma: 0.05,
+            energy_escalation: 1.15,
+        }
+    }
+}
+
+/// Accounting record of one successful program-and-verify sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WriteReport {
+    /// Write pulses spent (0 for a free non-volatile no-op).
+    pub pulses: u32,
+    /// Total optical energy: write pulses plus verify read-backs.
+    pub energy: EnergyPj,
+    /// Total settling plus read time.
+    pub time: Nanoseconds,
+    /// Crystallinity actually reached.
+    pub achieved: f64,
+}
+
 /// One stateful GST cell.
 ///
 /// The cell tracks its programmed level, the physical crystallinity that
@@ -104,6 +174,8 @@ pub struct GstCell {
     writes: u64,
     reads: u64,
     energy_spent: EnergyPj,
+    /// Hard fault, if one has been injected (or caused by wear).
+    fault: Option<GstFault>,
 }
 
 impl GstCell {
@@ -114,7 +186,15 @@ impl GstCell {
             params.crystalline_amplitude < params.amorphous_amplitude,
             "crystalline GST must absorb more than amorphous"
         );
-        Self { params, level: 0, crystallinity: 0.0, writes: 0, reads: 0, energy_spent: EnergyPj::ZERO }
+        Self {
+            params,
+            level: 0,
+            crystallinity: 0.0,
+            writes: 0,
+            reads: 0,
+            energy_spent: EnergyPj::ZERO,
+            fault: None,
+        }
     }
 
     /// A fresh cell with the paper's default parameters.
@@ -151,43 +231,184 @@ impl GstCell {
     /// non-volatile state needs no refresh).
     ///
     /// # Panics
-    /// Panics if `level` is out of range or the cell is worn out.
+    /// Panics if `level` is out of range, the cell is worn out, or a fault
+    /// has been injected. Fault-aware callers use [`GstCell::try_program`].
     pub fn program(&mut self, level: u16) -> EnergyPj {
-        assert!(level < self.params.levels, "level {level} out of range");
-        let crystallinity = level as f64 / (self.params.levels - 1) as f64;
-        self.write(level, crystallinity)
+        self.try_program(level).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Program-and-verify write: set the cell to `crystallinity`, recording
+    /// Fallible form of [`GstCell::program`]: faults, wear-out, and range
+    /// violations surface as [`PcmError`]s instead of panics.
+    pub fn try_program(&mut self, level: u16) -> Result<EnergyPj, PcmError> {
+        if level >= self.params.levels {
+            return Err(PcmError::LevelOutOfRange { level, levels: self.params.levels });
+        }
+        let crystallinity = level as f64 / (self.params.levels - 1) as f64;
+        self.try_write(level, crystallinity)
+    }
+
+    /// Ideal calibrated write: set the cell to `crystallinity`, recording
     /// it as calibrated level `level`. Costs one write pulse when the level
-    /// changes.
+    /// changes. (The closed-loop iterative write with read-back is
+    /// [`GstCell::program_verified`].)
     ///
     /// # Panics
-    /// Panics if the level or crystallinity is out of range, or the cell
-    /// is worn out.
+    /// Panics if the level or crystallinity is out of range, the cell is
+    /// worn out, or a fault has been injected. Fault-aware callers use
+    /// [`GstCell::try_program_calibrated`].
     pub fn program_calibrated(&mut self, level: u16, crystallinity: f64) -> EnergyPj {
-        assert!(level < self.params.levels, "level {level} out of range");
-        assert!(
-            (0.0..=1.0).contains(&crystallinity),
-            "crystallinity {crystallinity} outside [0, 1]"
-        );
-        self.write(level, crystallinity)
+        self.try_program_calibrated(level, crystallinity).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn write(&mut self, level: u16, crystallinity: f64) -> EnergyPj {
-        if level == self.level && (crystallinity - self.crystallinity).abs() < 1e-12 {
-            return EnergyPj::ZERO;
+    /// Fallible form of [`GstCell::program_calibrated`].
+    pub fn try_program_calibrated(
+        &mut self,
+        level: u16,
+        crystallinity: f64,
+    ) -> Result<EnergyPj, PcmError> {
+        if level >= self.params.levels {
+            return Err(PcmError::LevelOutOfRange { level, levels: self.params.levels });
         }
-        assert!(
-            !self.is_worn_out(),
-            "GST cell exceeded its {} cycle endurance",
-            self.params.endurance_cycles
-        );
+        if !(0.0..=1.0).contains(&crystallinity) {
+            return Err(PcmError::CrystallinityOutOfRange(crystallinity));
+        }
+        self.try_write(level, crystallinity)
+    }
+
+    fn try_write(&mut self, level: u16, crystallinity: f64) -> Result<EnergyPj, PcmError> {
+        if level == self.level && (crystallinity - self.crystallinity).abs() < 1e-12 {
+            return Ok(EnergyPj::ZERO);
+        }
+        if let Some(fault) = self.fault {
+            return Err(PcmError::StuckCell { fault, requested_level: level });
+        }
+        if self.is_worn_out() {
+            return Err(PcmError::WornOut {
+                writes: self.writes,
+                endurance: self.params.endurance_cycles,
+            });
+        }
         self.level = level;
         self.crystallinity = crystallinity;
         self.writes += 1;
         self.energy_spent += self.params.write_energy;
-        self.params.write_energy
+        Ok(self.params.write_energy)
+    }
+
+    /// Closed-loop program-and-verify write to calibrated level `level` at
+    /// target `crystallinity`, within `tolerance`.
+    ///
+    /// Each attempt fires a partial programming pulse (correcting
+    /// `policy.pulse_gain` of the remaining error, with stochastic gain
+    /// jitter from `rng`), spends one endurance cycle and an escalating
+    /// pulse energy, then verifies with a read-back probe. Succeeds once
+    /// the read-back is within `tolerance` of the target; fails with
+    /// [`PcmError::WriteVerifyFailed`] when `policy.max_attempts` pulses
+    /// are exhausted (leaving the cell mid-trajectory, as real hardware
+    /// would).
+    pub fn program_verified(
+        &mut self,
+        level: u16,
+        crystallinity: f64,
+        tolerance: f64,
+        policy: &WriteVerifyPolicy,
+        rng: &mut StdRng,
+    ) -> Result<WriteReport, PcmError> {
+        if level >= self.params.levels {
+            return Err(PcmError::LevelOutOfRange { level, levels: self.params.levels });
+        }
+        if !(0.0..=1.0).contains(&crystallinity) {
+            return Err(PcmError::CrystallinityOutOfRange(crystallinity));
+        }
+        assert!(tolerance > 0.0, "verify tolerance must be positive");
+        // Non-volatile no-op: already verified at this level.
+        if level == self.level && (self.crystallinity - crystallinity).abs() <= tolerance {
+            return Ok(WriteReport {
+                pulses: 0,
+                energy: EnergyPj::ZERO,
+                time: Nanoseconds(0.0),
+                achieved: self.crystallinity,
+            });
+        }
+        if let Some(fault) = self.fault {
+            return Err(PcmError::StuckCell { fault, requested_level: level });
+        }
+        let mut energy = EnergyPj::ZERO;
+        let mut time = Nanoseconds(0.0);
+        let mut pulse_energy = self.params.write_energy;
+        for attempt in 1..=policy.max_attempts {
+            if self.is_worn_out() {
+                return Err(PcmError::WornOut {
+                    writes: self.writes,
+                    endurance: self.params.endurance_cycles,
+                });
+            }
+            // Partial pulse: corrects a jittered fraction of the remaining
+            // error. The clamp keeps pathological jitter draws physical
+            // (a pulse never overshoots past the target's far side).
+            let jitter = 1.0 + policy.gain_jitter_sigma * gaussian(rng);
+            let gain = (policy.pulse_gain * jitter).clamp(0.05, 0.95);
+            self.crystallinity += (crystallinity - self.crystallinity) * gain;
+            self.crystallinity = self.crystallinity.clamp(0.0, 1.0);
+            self.writes += 1;
+            self.energy_spent += pulse_energy;
+            energy += pulse_energy;
+            time += self.params.write_time;
+            pulse_energy = EnergyPj(pulse_energy.value() * policy.energy_escalation);
+            // Verify with a read-back probe.
+            self.reads += 1;
+            self.energy_spent += self.params.read_energy;
+            energy += self.params.read_energy;
+            if (self.crystallinity - crystallinity).abs() <= tolerance {
+                self.level = level;
+                return Ok(WriteReport { pulses: attempt, energy, time, achieved: self.crystallinity });
+            }
+        }
+        // The cell is left mid-trajectory; record the attempted level so
+        // the readout reflects what the hardware would report.
+        self.level = level;
+        Err(PcmError::WriteVerifyFailed {
+            level,
+            target: crystallinity,
+            achieved: self.crystallinity,
+            attempts: policy.max_attempts,
+        })
+    }
+
+    /// Pin the cell in a hard fault state. The stored crystallinity jumps
+    /// to the stuck phase immediately and all subsequent writes fail with
+    /// [`PcmError::StuckCell`].
+    pub fn inject_fault(&mut self, fault: GstFault) {
+        self.fault = Some(fault);
+        match fault {
+            GstFault::StuckAmorphous => {
+                self.level = 0;
+                self.crystallinity = 0.0;
+            }
+            GstFault::StuckCrystalline => {
+                self.level = self.params.levels - 1;
+                self.crystallinity = 1.0;
+            }
+        }
+    }
+
+    /// Clear an injected fault (e.g. for campaign re-runs on a shared
+    /// structure). Does not restore the pre-fault state.
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// The cell's hard fault, if any.
+    #[inline]
+    pub fn fault(&self) -> Option<GstFault> {
+        self.fault
+    }
+
+    /// True when the cell responds to programming pulses (no fault, not
+    /// worn out).
+    #[inline]
+    pub fn is_programmable(&self) -> bool {
+        self.fault.is_none() && !self.is_worn_out()
     }
 
     /// Program to the nearest level for a crystallinity fraction.
@@ -256,9 +477,18 @@ impl GstCell {
     }
 }
 
+/// Standard normal draw (Box–Muller) for write-pulse gain jitter.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::PcmError;
+    use rand::SeedableRng;
 
     #[test]
     fn default_parameters_match_paper() {
@@ -373,6 +603,83 @@ mod tests {
             (crystalline.crystallinity() - 1.0).abs() < 1e-9,
             "the crystalline ground state is stable"
         );
+    }
+
+    #[test]
+    fn stuck_cell_rejects_writes_with_typed_error() {
+        let mut c = GstCell::with_defaults();
+        c.program(100);
+        c.inject_fault(GstFault::StuckCrystalline);
+        assert_eq!(c.level(), 254);
+        assert!((c.crystallinity() - 1.0).abs() < 1e-12);
+        let err = c.try_program(10).unwrap_err();
+        assert!(matches!(
+            err,
+            PcmError::StuckCell { fault: GstFault::StuckCrystalline, requested_level: 10 }
+        ));
+        // Writing the stuck state itself is a free no-op, not an error.
+        assert_eq!(c.try_program(254).unwrap(), EnergyPj::ZERO);
+        c.clear_fault();
+        assert!(c.try_program(10).is_ok());
+    }
+
+    #[test]
+    fn worn_cell_yields_typed_error_from_try_path() {
+        let params = GstParameters { endurance_cycles: 1, ..GstParameters::default() };
+        let mut c = GstCell::new(params);
+        c.try_program(1).unwrap();
+        let err = c.try_program(2).unwrap_err();
+        assert!(matches!(err, PcmError::WornOut { writes: 1, endurance: 1 }));
+    }
+
+    #[test]
+    fn program_verified_converges_and_accounts_pulses() {
+        let mut c = GstCell::with_defaults();
+        let mut rng = StdRng::seed_from_u64(42);
+        let policy = WriteVerifyPolicy::default();
+        let report = c.program_verified(127, 0.5, 1e-4, &policy, &mut rng).unwrap();
+        assert!(report.pulses >= 1 && report.pulses <= policy.max_attempts);
+        assert!((c.crystallinity() - 0.5).abs() <= 1e-4);
+        assert_eq!(c.level(), 127);
+        assert_eq!(c.write_count() as u32, report.pulses);
+        assert_eq!(c.read_count() as u32, report.pulses, "one verify read per pulse");
+        assert!(report.energy.value() >= report.pulses as f64 * 660.0);
+        // Re-verifying the same state is a non-volatile no-op.
+        let again = c.program_verified(127, 0.5, 1e-4, &policy, &mut rng).unwrap();
+        assert_eq!(again.pulses, 0);
+        assert_eq!(again.energy, EnergyPj::ZERO);
+    }
+
+    #[test]
+    fn program_verified_escalates_pulse_energy() {
+        let mut c = GstCell::with_defaults();
+        let mut rng = StdRng::seed_from_u64(1);
+        let policy = WriteVerifyPolicy::default();
+        let report = c.program_verified(254, 1.0, 1e-6, &policy, &mut rng).unwrap();
+        if report.pulses >= 2 {
+            // Total write energy strictly exceeds pulses × base energy
+            // because retries escalate.
+            let base = report.pulses as f64 * 660.0 + report.pulses as f64 * 20.0;
+            assert!(report.energy.value() > base, "{} !> {base}", report.energy.value());
+        }
+    }
+
+    #[test]
+    fn program_verified_fails_within_bound_on_impossible_tolerance() {
+        // An unreachable tolerance must exhaust the retry budget and
+        // surface a typed error, never loop forever or panic.
+        let mut c = GstCell::with_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        let policy = WriteVerifyPolicy { max_attempts: 4, ..WriteVerifyPolicy::default() };
+        let err = c.program_verified(127, 0.5, 1e-15, &policy, &mut rng).unwrap_err();
+        match err {
+            PcmError::WriteVerifyFailed { attempts, level, .. } => {
+                assert_eq!(attempts, 4);
+                assert_eq!(level, 127);
+            }
+            other => panic!("expected WriteVerifyFailed, got {other}"),
+        }
+        assert_eq!(c.write_count(), 4, "exactly max_attempts pulses spent");
     }
 
     #[test]

@@ -22,11 +22,13 @@
 #![deny(unsafe_code)]
 
 pub mod activation;
+pub mod error;
 pub mod gst;
 pub mod ldsu;
 pub mod weight;
 
 pub use activation::{fig3_curve, ActivationCellParams, GstActivationCell, GstRelu};
-pub use gst::{GstCell, GstParameters};
+pub use error::PcmError;
+pub use gst::{GstCell, GstFault, GstParameters, WriteReport, WriteVerifyPolicy};
 pub use ldsu::Ldsu;
 pub use weight::{PcmMrr, WeightLut};

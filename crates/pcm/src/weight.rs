@@ -21,7 +21,9 @@
 //! monotone physics curve, yielding uniform 8-bit weights whose LSB the
 //! property tests bound.
 
-use crate::gst::{GstCell, GstParameters};
+use crate::error::PcmError;
+use crate::gst::{GstCell, GstFault, GstParameters, WriteReport, WriteVerifyPolicy};
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use trident_photonics::mrr::{AddDropMrr, PortTransfer};
 use trident_photonics::units::{EnergyPj, Wavelength};
@@ -135,6 +137,27 @@ impl WeightLut {
         best as u16
     }
 
+    /// Fallible form of [`WeightLut::level_for`].
+    pub fn try_level_for(&self, w: f64) -> Result<u16, PcmError> {
+        if !(-1.0..=1.0).contains(&w) {
+            return Err(PcmError::WeightOutOfRange(w));
+        }
+        Ok(self.level_for(w))
+    }
+
+    /// Crystallinity tolerance for verifying a write to `level`: half the
+    /// gap to the nearest neighbouring level, so a passed verify always
+    /// reads back as the intended level and never its neighbour.
+    pub fn verify_tolerance(&self, level: u16) -> f64 {
+        let c = &self.crystallinity_by_level;
+        let i = level as usize;
+        let below = if i > 0 { c[i] - c[i - 1] } else { f64::INFINITY };
+        let above = if i + 1 < c.len() { c[i + 1] - c[i] } else { f64::INFINITY };
+        // Guard with a floor: adjacent calibrated states can coincide to
+        // bisection precision at the crystalline end of the curve.
+        (0.5 * below.min(above)).max(1e-9)
+    }
+
     /// Worst-case quantization error (in normalized weight units) over a
     /// uniform sweep of `samples` target weights.
     pub fn max_quantization_error(&self, samples: usize) -> f64 {
@@ -152,12 +175,14 @@ impl WeightLut {
 pub struct PcmMrr {
     ring: AddDropMrr,
     cell: GstCell,
+    /// Writes that ended in a verify failure or stuck-cell rejection.
+    write_failures: u64,
 }
 
 impl PcmMrr {
     /// Assemble a weight unit from a ring and a fresh GST cell.
     pub fn new(ring: AddDropMrr, params: GstParameters) -> Self {
-        Self { ring, cell: GstCell::new(params) }
+        Self { ring, cell: GstCell::new(params), write_failures: 0 }
     }
 
     /// The underlying ring.
@@ -172,12 +197,78 @@ impl PcmMrr {
         &self.cell
     }
 
-    /// Program a normalized weight through `lut` (a calibrated
-    /// program-and-verify write). Returns the optical write energy spent
+    /// Program a normalized weight through `lut` with an ideal calibrated
+    /// write (single exact pulse). Returns the optical write energy spent
     /// (zero when the level is unchanged — non-volatility).
+    ///
+    /// # Panics
+    /// Panics on out-of-range weights, worn-out or faulted cells; the
+    /// fault-aware closed-loop path is [`PcmMrr::set_weight_verified`].
     pub fn set_weight(&mut self, w: f64, lut: &WeightLut) -> EnergyPj {
         let level = lut.level_for(w);
         self.cell.program_calibrated(level, lut.crystallinity_at(level))
+    }
+
+    /// Fallible form of [`PcmMrr::set_weight`]: a single ideal pulse, with
+    /// faults and wear surfacing as [`PcmError`]s.
+    pub fn try_set_weight(&mut self, w: f64, lut: &WeightLut) -> Result<EnergyPj, PcmError> {
+        let level = lut.try_level_for(w)?;
+        let result = self.cell.try_program_calibrated(level, lut.crystallinity_at(level));
+        if matches!(result, Err(PcmError::StuckCell { .. })) {
+            self.write_failures += 1;
+        }
+        result
+    }
+
+    /// Closed-loop program-and-verify weight write: iterative partial
+    /// pulses with read-back until the cell verifies at the calibrated
+    /// level (see [`GstCell::program_verified`]). Failed writes are
+    /// tallied in [`PcmMrr::write_failures`].
+    pub fn set_weight_verified(
+        &mut self,
+        w: f64,
+        lut: &WeightLut,
+        policy: &WriteVerifyPolicy,
+        rng: &mut StdRng,
+    ) -> Result<WriteReport, PcmError> {
+        let level = lut.try_level_for(w)?;
+        let result = self.cell.program_verified(
+            level,
+            lut.crystallinity_at(level),
+            lut.verify_tolerance(level),
+            policy,
+            rng,
+        );
+        if matches!(
+            result,
+            Err(PcmError::WriteVerifyFailed { .. }) | Err(PcmError::StuckCell { .. })
+        ) {
+            self.write_failures += 1;
+        }
+        result
+    }
+
+    /// Pin the embedded cell in a hard fault state.
+    pub fn inject_fault(&mut self, fault: GstFault) {
+        self.cell.inject_fault(fault);
+    }
+
+    /// Age the embedded cell by `years` of amorphous drift
+    /// (see [`GstCell::age`]).
+    pub fn age(&mut self, years: f64) {
+        self.cell.age(years);
+    }
+
+    /// The embedded cell's hard fault, if any.
+    #[inline]
+    pub fn fault(&self) -> Option<GstFault> {
+        self.cell.fault()
+    }
+
+    /// Writes rejected by a stuck cell or failed by verify.
+    #[inline]
+    pub fn write_failures(&self) -> u64 {
+        self.write_failures
     }
 
     /// The normalized weight currently programmed.
@@ -321,6 +412,62 @@ mod tests {
                 raw / l.scale()
             );
         }
+    }
+
+    #[test]
+    fn verified_write_reaches_every_queried_level() {
+        use rand::SeedableRng;
+        let l = lut();
+        let mut unit = PcmMrr::new(ring(), GstParameters::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let policy = WriteVerifyPolicy::default();
+        for &w in &[1.0, -1.0, 0.0, 0.37, -0.81] {
+            let report = unit.set_weight_verified(w, &l, &policy, &mut rng).unwrap();
+            assert!(report.pulses <= policy.max_attempts);
+            assert!(
+                (unit.weight(&l) - w).abs() <= 0.5 * LSB + 1e-6,
+                "w={w} read back as {}",
+                unit.weight(&l)
+            );
+        }
+        assert_eq!(unit.write_failures(), 0);
+    }
+
+    #[test]
+    fn stuck_unit_tallies_write_failures() {
+        use rand::SeedableRng;
+        let l = lut();
+        let mut unit = PcmMrr::new(ring(), GstParameters::default());
+        unit.inject_fault(GstFault::StuckAmorphous);
+        let mut rng = StdRng::seed_from_u64(2);
+        let err = unit
+            .set_weight_verified(-0.5, &l, &WriteVerifyPolicy::default(), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, PcmError::StuckCell { .. }));
+        assert_eq!(unit.write_failures(), 1);
+        assert!(unit.try_set_weight(-0.5, &l).is_err());
+        assert_eq!(unit.write_failures(), 2);
+        // The stuck-amorphous phase reads as the most positive weight.
+        assert!((unit.weight(&l) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verify_tolerance_separates_adjacent_levels() {
+        let l = lut();
+        for lvl in 0..l.levels() {
+            let tol = l.verify_tolerance(lvl);
+            assert!(tol > 0.0);
+            if lvl > 0 {
+                assert!(tol <= 0.5 * (l.crystallinity_at(lvl) - l.crystallinity_at(lvl - 1)) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn try_level_for_rejects_out_of_range_weight() {
+        let l = lut();
+        assert!(matches!(l.try_level_for(1.5), Err(PcmError::WeightOutOfRange(_))));
+        assert!(l.try_level_for(0.5).is_ok());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Typed errors for workload lookup and validation.
+
+use std::fmt;
+
+/// Everything that can go wrong resolving or validating a model spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// No model in the zoo matches the requested name.
+    UnknownModel {
+        /// The name as the caller gave it.
+        name: String,
+    },
+    /// A model spec has no layers.
+    EmptyModel {
+        /// Name of the offending model.
+        model: String,
+    },
+    /// Two layers in one model share a name.
+    DuplicateLayer {
+        /// Name of the offending model.
+        model: String,
+        /// The repeated layer name.
+        layer: String,
+    },
+    /// A layer's output shape has a zero dimension.
+    EmptyLayerOutput {
+        /// Name of the offending model.
+        model: String,
+        /// The layer whose output collapsed.
+        layer: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::UnknownModel { name } => {
+                write!(
+                    f,
+                    "unknown model {name:?}; known models: {}",
+                    crate::zoo::KNOWN_MODELS.join(", ")
+                )
+            }
+            WorkloadError::EmptyModel { model } => write!(f, "model {model:?} has no layers"),
+            WorkloadError::DuplicateLayer { model, layer } => {
+                write!(f, "model {model:?} has a duplicate layer name {layer:?}")
+            }
+            WorkloadError::EmptyLayerOutput { model, layer } => {
+                write!(f, "model {model:?} layer {layer:?} has an empty output shape")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_model_lists_the_zoo() {
+        let e = WorkloadError::UnknownModel { name: "transformer".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("transformer") && msg.contains("vgg16"), "{msg}");
+    }
+
+    #[test]
+    fn validation_errors_name_the_offender() {
+        let e = WorkloadError::DuplicateLayer { model: "m".into(), layer: "conv1".into() };
+        assert!(e.to_string().contains("duplicate"), "{e}");
+        let e = WorkloadError::EmptyLayerOutput { model: "m".into(), layer: "pool".into() };
+        assert!(e.to_string().contains("empty output"), "{e}");
+    }
+}

@@ -21,11 +21,15 @@
 #![deny(unsafe_code)]
 
 pub mod dataflow;
+pub mod error;
 pub mod layer;
 pub mod model;
 pub mod zoo;
 
 pub use dataflow::{DataflowModel, LayerMapping, ModelMapping};
+pub use error::WorkloadError;
 pub use layer::{LayerKind, LayerSpec, TensorShape};
 pub use model::ModelSpec;
-pub use zoo::{alexnet, by_name, googlenet, lenet5, mobilenet_v2, paper_models, resnet50, vgg16};
+pub use zoo::{
+    alexnet, by_name, googlenet, lenet5, mobilenet_v2, paper_models, resnet50, try_by_name, vgg16,
+};

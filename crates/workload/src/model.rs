@@ -1,5 +1,6 @@
 //! Whole-network descriptions and cost roll-ups.
 
+use crate::error::WorkloadError;
 use crate::layer::{LayerKind, LayerSpec, TensorShape};
 use serde::{Deserialize, Serialize};
 
@@ -77,21 +78,27 @@ impl ModelSpec {
     }
 
     /// Validate structural sanity: non-empty, unique layer names, and
-    /// positive shapes everywhere. Returns the offending description on
-    /// failure (the builders uphold these by construction; this guards
-    /// hand-assembled or deserialized specs).
-    pub fn validate(&self) -> Result<(), String> {
+    /// positive shapes everywhere. Returns a typed [`WorkloadError`] naming
+    /// the offender on failure (the builders uphold these by construction;
+    /// this guards hand-assembled or deserialized specs).
+    pub fn validate(&self) -> Result<(), WorkloadError> {
         if self.layers.is_empty() {
-            return Err("model has no layers".into());
+            return Err(WorkloadError::EmptyModel { model: self.name.clone() });
         }
         let mut seen = std::collections::BTreeSet::new();
         for layer in &self.layers {
             if !seen.insert(layer.name.as_str()) {
-                return Err(format!("duplicate layer name {:?}", layer.name));
+                return Err(WorkloadError::DuplicateLayer {
+                    model: self.name.clone(),
+                    layer: layer.name.clone(),
+                });
             }
             let out = layer.output();
             if out.c == 0 || out.h == 0 || out.w == 0 {
-                return Err(format!("layer {:?} has an empty output {:?}", layer.name, out));
+                return Err(WorkloadError::EmptyLayerOutput {
+                    model: self.name.clone(),
+                    layer: layer.name.clone(),
+                });
             }
         }
         Ok(())
@@ -265,7 +272,11 @@ mod tests {
         b.conv("same", 4, 3, 1, 1).conv("same", 4, 3, 1, 1);
         let m = b.build();
         let err = m.validate().unwrap_err();
-        assert!(err.contains("duplicate"), "{err}");
+        assert_eq!(
+            err,
+            crate::error::WorkloadError::DuplicateLayer { model: "dup".into(), layer: "same".into() }
+        );
+        assert!(err.to_string().contains("duplicate"), "{err}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! flattened per [`crate::model::ModelSpec`]'s convention. Tests pin the
 //! aggregate MAC/parameter counts against the published values.
 
+use crate::error::WorkloadError;
 use crate::layer::{LayerKind, TensorShape};
 use crate::model::{ModelBuilder, ModelSpec};
 
@@ -191,18 +192,28 @@ pub fn lenet5() -> ModelSpec {
     b.build()
 }
 
+/// Canonical lookup keys [`try_by_name`] accepts (aliases not listed).
+pub const KNOWN_MODELS: &[&str] =
+    &["alexnet", "vgg16", "googlenet", "mobilenetv2", "resnet50", "lenet5"];
+
 /// Look a model up by a user-facing name (case/punctuation-insensitive).
 pub fn by_name(name: &str) -> Option<ModelSpec> {
+    try_by_name(name).ok()
+}
+
+/// Like [`by_name`], but an unknown name comes back as a typed error that
+/// lists the models the zoo does know — the variant CLI front-ends want.
+pub fn try_by_name(name: &str) -> Result<ModelSpec, WorkloadError> {
     let key: String =
         name.chars().filter(|c| c.is_ascii_alphanumeric()).collect::<String>().to_lowercase();
     match key.as_str() {
-        "alexnet" => Some(alexnet()),
-        "vgg16" => Some(vgg16()),
-        "googlenet" => Some(googlenet()),
-        "mobilenetv2" | "mobilenet" => Some(mobilenet_v2()),
-        "resnet50" => Some(resnet50()),
-        "lenet5" | "lenet" => Some(lenet5()),
-        _ => None,
+        "alexnet" => Ok(alexnet()),
+        "vgg16" => Ok(vgg16()),
+        "googlenet" => Ok(googlenet()),
+        "mobilenetv2" | "mobilenet" => Ok(mobilenet_v2()),
+        "resnet50" => Ok(resnet50()),
+        "lenet5" | "lenet" => Ok(lenet5()),
+        _ => Err(WorkloadError::UnknownModel { name: name.to_string() }),
     }
 }
 
@@ -320,6 +331,15 @@ mod tests {
         assert_eq!(by_name("ResNet-50").unwrap().name, "ResNet-50");
         assert_eq!(by_name("lenet").unwrap().name, "LeNet-5");
         assert!(by_name("transformer").is_none());
+    }
+
+    #[test]
+    fn try_by_name_reports_unknown_models_with_suggestions() {
+        assert_eq!(try_by_name("VGG-16").unwrap().name, "VGG-16");
+        let err = try_by_name("transformer").unwrap_err();
+        assert_eq!(err, WorkloadError::UnknownModel { name: "transformer".into() });
+        let msg = err.to_string();
+        assert!(msg.contains("vgg16") && msg.contains("resnet50"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Invariants of the fault-injection & graceful-degradation subsystem:
+//! the closed-loop program-and-verify write path always converges within
+//! its retry bound on healthy cells, and wear-leveling never programs a
+//! cell past its endurance budget.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trident::arch::bank::WeightBank;
+use trident::pcm::gst::{GstParameters, WriteVerifyPolicy};
+use trident::pcm::weight::{PcmMrr, WeightLut};
+use trident::photonics::mrr::{AddDropMrr, MrrGeometry};
+use trident::photonics::units::Wavelength;
+
+fn fresh_mrr() -> (PcmMrr, WeightLut) {
+    let params = GstParameters::default();
+    let ring = AddDropMrr::new(MrrGeometry::weight_bank(), Wavelength::from_nm(1550.0));
+    let lut = WeightLut::build(&ring, &params);
+    (PcmMrr::new(ring, params), lut)
+}
+
+/// Every representable 8-bit level is programmable within the retry
+/// bound, from a fresh cell, and the read-back weight lands on the LUT's
+/// value for that level. Exhaustive, not sampled: 255 levels is cheap.
+#[test]
+fn program_and_verify_converges_for_every_level() {
+    let policy = WriteVerifyPolicy::default();
+    let mut rng = StdRng::seed_from_u64(7);
+    let (_, lut) = fresh_mrr();
+    for level in 0..lut.levels() {
+        let (mut mrr, _) = fresh_mrr();
+        let target = lut.weight_at(level);
+        let report = mrr
+            .set_weight_verified(target, &lut, &policy, &mut rng)
+            .unwrap_or_else(|e| panic!("level {level} failed to verify: {e}"));
+        assert!(
+            report.pulses <= policy.max_attempts,
+            "level {level} took {} pulses (bound {})",
+            report.pulses,
+            policy.max_attempts
+        );
+        let achieved = mrr.weight(&lut);
+        assert!(
+            (achieved - target).abs() <= lut.verify_tolerance(level).max(1.0 / 127.0),
+            "level {level}: read back {achieved} for target {target}"
+        );
+        assert_eq!(mrr.write_failures(), 0, "level {level} tallied a failure");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary in-range weights verify within the retry bound from any
+    /// prior programmed state (write sequences, not just fresh cells).
+    #[test]
+    fn verified_writes_converge_from_any_state(
+        w1 in -1.0f64..=1.0,
+        w2 in -1.0f64..=1.0,
+        seed in 0u64..1024,
+    ) {
+        let policy = WriteVerifyPolicy::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut mrr, lut) = fresh_mrr();
+        let first = mrr.set_weight_verified(w1, &lut, &policy, &mut rng);
+        prop_assert!(first.is_ok(), "first write failed: {:?}", first);
+        let second = mrr.set_weight_verified(w2, &lut, &policy, &mut rng);
+        prop_assert!(second.is_ok(), "second write failed: {:?}", second);
+        let report = second.unwrap();
+        prop_assert!(report.pulses <= policy.max_attempts);
+        let level = lut.level_for(w2);
+        let achieved = mrr.weight(&lut);
+        prop_assert!(
+            (achieved - lut.weight_at(level)).abs() <= lut.verify_tolerance(level).max(1.0 / 127.0),
+            "read back {} for target {}", achieved, w2
+        );
+    }
+
+    /// Wear-leveling invariant: however many reprogram cycles a bank sees,
+    /// no individual ring accumulates more write pulses than its endurance
+    /// budget — cells near the cliff retire onto spares instead.
+    #[test]
+    fn wear_leveling_never_exceeds_the_endurance_budget(
+        endurance in 50u64..=200,
+        cycles in 1usize..=40,
+        seed in 0u64..256,
+    ) {
+        let params = GstParameters { endurance_cycles: endurance, ..Default::default() };
+        let mut bank = WeightBank::new(2, 2, params);
+        let policy = WriteVerifyPolicy::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..cycles {
+            // Alternate between two far-apart matrices so every cycle
+            // genuinely rewrites (and wears) each live cell.
+            let w = if i % 2 == 0 {
+                [0.9, -0.9, 0.7, -0.7]
+            } else {
+                [-0.6, 0.6, -0.8, 0.8]
+            };
+            // Failures (spares exhausted → masked slots) are legitimate
+            // late in life; the invariant is about wear accounting.
+            let _ = bank.try_program_verified(&w, &policy, &mut rng);
+        }
+        prop_assert!(
+            bank.max_ring_writes() <= endurance,
+            "a ring saw {} writes against an endurance budget of {}",
+            bank.max_ring_writes(),
+            endurance
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for `rayon`: the same parallel-iterator *API shape*
+//! (`par_iter`, `into_par_iter`, `par_chunks_mut`, `map`/`reduce`/…)
+//! executed sequentially.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the subset of rayon's surface its crates call. Sequential execution is
+//! semantically identical for every call-site here — the simulator's
+//! parallel loops are all independent map/reduce shapes with associative
+//! combiners — only wall-clock parallelism is lost. Swapping the real
+//! rayon back in is a one-line Cargo.toml change.
+
+#![deny(unsafe_code)]
+
+/// Sequential adapter carrying rayon's method names over a plain iterator.
+pub struct Par<I>(I);
+
+impl<I: Iterator> Par<I> {
+    pub fn map<T, F>(self, f: F) -> Par<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> T,
+    {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter_map<T, F>(self, f: F) -> Par<std::iter::FilterMap<I, F>>
+    where
+        F: FnMut(I::Item) -> Option<T>,
+    {
+        Par(self.0.filter_map(f))
+    }
+
+    /// rayon's "flat-map over a serial iterator" — sequentially these are
+    /// the same operation.
+    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        Par(self.0.flat_map(f))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+
+    /// rayon-style reduce: fold from an identity with an associative
+    /// combiner. Sequentially this is exactly a fold.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`, blanket-implemented over
+/// anything iterable.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator`, providing `.par_iter()`
+/// on collections whose shared reference is iterable (slices, `Vec`, …).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSliceMut` for `par_chunks_mut`.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(chunk_size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, Par, ParallelSliceMut};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, Par};
+}
+
+pub mod slice {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn reduce_folds_from_identity() {
+        let total = (1..=10).into_par_iter().map(|x| x as f64).reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(total, 55.0);
+    }
+
+    #[test]
+    fn chunks_mut_covers_whole_slice() {
+        let mut data = [0u32; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn filter_map_and_flat_map_iter() {
+        let odds: Vec<i32> =
+            (0..10).into_par_iter().filter_map(|x| (x % 2 == 1).then_some(x)).collect();
+        assert_eq!(odds, vec![1, 3, 5, 7, 9]);
+        let pairs: Vec<i32> = (0..3).into_par_iter().flat_map_iter(|x| [x, x]).collect();
+        assert_eq!(pairs, vec![0, 0, 1, 1, 2, 2]);
+    }
+}

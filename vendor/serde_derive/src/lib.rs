@@ -1,0 +1,18 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline build.
+//!
+//! The workspace annotates ~100 types with `#[derive(Serialize, Deserialize)]`
+//! but never actually serializes anything (there is no serde_json or similar
+//! in the tree). The vendored `serde` stub blanket-implements both traits,
+//! so these derives only have to *accept* the annotation and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
