@@ -11,7 +11,7 @@
 use crate::config::TridentConfig;
 use serde::{Deserialize, Serialize};
 use trident_photonics::mrr::MrrGeometry;
-use trident_photonics::units::AreaUm2;
+use trident_photonics::units::{count, AreaUm2};
 use std::collections::BTreeMap;
 
 /// Area ledger item names.
@@ -49,8 +49,8 @@ impl AreaModel {
     /// Per-PE area by component, in µm².
     pub fn pe_breakdown(&self) -> BTreeMap<&'static str, AreaUm2> {
         let c = &self.config;
-        let rows = c.bank_rows as f64;
-        let mrrs = c.mrrs_per_pe() as f64;
+        let rows = count(c.bank_rows);
+        let mrrs = count(c.mrrs_per_pe());
         let mut map = BTreeMap::new();
         // One TIA per row. The receiver co-design of Li et al. [19] pairs
         // each BPD with a differential TIA whose analog front end dwarfs
@@ -78,12 +78,12 @@ impl AreaModel {
 
     /// Whole-chip area across all PEs.
     pub fn chip_area(&self) -> AreaUm2 {
-        self.pe_area() * self.config.num_pes as f64
+        self.pe_area() * count(self.config.num_pes)
     }
 
     /// Whole-chip breakdown (per-PE scaled by PE count), for Fig. 5.
     pub fn chip_breakdown(&self) -> BTreeMap<&'static str, AreaUm2> {
-        let n = self.config.num_pes as f64;
+        let n = count(self.config.num_pes);
         self.pe_breakdown().into_iter().map(|(k, v)| (k, v * n)).collect()
     }
 

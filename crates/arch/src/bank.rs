@@ -370,7 +370,8 @@ impl WeightBank {
         report: &mut ProgramReport,
     ) -> Result<bool, ArchError> {
         let idx = r * self.cols + c;
-        for remapped_retry in [false, true] {
+        let mut remapped_retry = false;
+        loop {
             match self.rings[idx].set_weight_verified(w, &self.lut, policy, rng) {
                 Ok(wr) => {
                     report.energy += wr.energy;
@@ -395,6 +396,7 @@ impl WeightBank {
                 ) => {
                     if !remapped_retry && self.remap_slot(r, c).is_ok() {
                         report.remapped += 1;
+                        remapped_retry = true;
                         continue; // retry once on the fresh spare
                     }
                     report.failures.push((r, c, e));
@@ -406,7 +408,6 @@ impl WeightBank {
                 Err(e) => return Err(e.into()),
             }
         }
-        unreachable!("the remap retry loop always returns")
     }
 
     /// Replace the ring at `(r, c)` with one of the row's spares (a fresh

@@ -93,6 +93,11 @@ impl TridentConfig {
         self.bank_rows * self.bank_cols
     }
 
+    /// PE count as the `u64` the tile/vector bookkeeping runs in.
+    pub fn pe_slots(&self) -> u64 {
+        u64::try_from(self.num_pes).unwrap_or(u64::MAX)
+    }
+
     /// The dataflow geometry this configuration exposes to the workload
     /// mapper.
     pub fn dataflow(&self) -> DataflowModel {

@@ -22,7 +22,7 @@ use crate::pe::{ProcessingElement, LOGIT_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trident_photonics::ledger::EnergyLedger;
-use trident_photonics::units::EnergyPj;
+use trident_photonics::units::{count, EnergyPj};
 
 /// GST activation slope (Fig. 3).
 const SLOPE: f64 = 0.34;
@@ -130,7 +130,7 @@ impl PhotonicCnn {
 
     fn quantize(&self, w: f64) -> f64 {
         let levels = (1u32 << self.weight_bits) - 1;
-        let step = 2.0 / (levels - 1) as f64;
+        let step = 2.0 / f64::from(levels - 1);
         (w.clamp(-1.0, 1.0) / step).round() * step
     }
 
@@ -266,9 +266,9 @@ impl PhotonicCnn {
         logits
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .unwrap()
+            .unwrap_or(0)
     }
 
     /// Accuracy over a labelled set.
@@ -279,7 +279,7 @@ impl PhotonicCnn {
                 correct += 1;
             }
         }
-        correct as f64 / labels.len() as f64
+        f64::from(correct) / count(labels.len())
     }
 
     /// One in-situ training step. The dense gradients use the Table II
@@ -455,7 +455,7 @@ mod tests {
     fn digit_images(per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
         let data = synthetic_digits(per_class, 0.05, 13);
         let xs = (0..data.len())
-            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
             .collect();
         (xs, data.labels)
     }

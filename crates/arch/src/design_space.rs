@@ -82,7 +82,7 @@ pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
         .filter(|p| !points.iter().any(|q| p.dominated_by(q)))
         .cloned()
         .collect();
-    frontier.sort_by(|a, b| a.mean_rate.partial_cmp(&b.mean_rate).unwrap());
+    frontier.sort_by(|a, b| a.mean_rate.total_cmp(&b.mean_rate));
     frontier
 }
 
@@ -100,21 +100,23 @@ pub fn default_geometries() -> Vec<(usize, usize)> {
 
 /// Sanity check a sweep result: the paper's configuration should be on or
 /// near the frontier. Returns the paper point's smallest Euclidean
-/// distance (in normalized rate/energy space) to a frontier point.
-pub fn paper_point_frontier_distance(points: &[DesignPoint]) -> f64 {
-    let paper =
-        points.iter().find(|p| p.bank_rows == 16 && p.bank_cols == 16).expect("16×16 missing");
+/// distance (in normalized rate/energy space) to a frontier point, or
+/// `None` when the sweep never evaluated the paper's 16×16 geometry.
+pub fn paper_point_frontier_distance(points: &[DesignPoint]) -> Option<f64> {
+    let paper = points.iter().find(|p| p.bank_rows == 16 && p.bank_cols == 16)?;
     let frontier = pareto_frontier(points);
     let max_rate = points.iter().map(|p| p.mean_rate).fold(1e-12, f64::max);
     let max_energy = points.iter().map(|p| p.mean_energy_mj).fold(1e-12, f64::max);
-    frontier
-        .iter()
-        .map(|f| {
-            let dr = (f.mean_rate - paper.mean_rate) / max_rate;
-            let de = (f.mean_energy_mj - paper.mean_energy_mj) / max_energy;
-            (dr * dr + de * de).sqrt()
-        })
-        .fold(f64::INFINITY, f64::min)
+    Some(
+        frontier
+            .iter()
+            .map(|f| {
+                let dr = (f.mean_rate - paper.mean_rate) / max_rate;
+                let de = (f.mean_energy_mj - paper.mean_energy_mj) / max_energy;
+                (dr * dr + de * de).sqrt()
+            })
+            .fold(f64::INFINITY, f64::min),
+    )
 }
 
 #[cfg(test)]
@@ -162,7 +164,7 @@ mod tests {
     fn paper_geometry_is_near_the_frontier() {
         let models = [zoo::googlenet(), zoo::mobilenet_v2()];
         let points = sweep_geometries(&default_geometries(), 30.0, &models);
-        let d = paper_point_frontier_distance(&points);
+        let d = paper_point_frontier_distance(&points).expect("grid includes 16×16");
         assert!(
             d < 0.35,
             "the paper's 16×16 pick should sit near the Pareto frontier, distance {d}"

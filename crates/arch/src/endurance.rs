@@ -14,6 +14,7 @@
 
 use crate::config::TridentConfig;
 use serde::{Deserialize, Serialize};
+use trident_photonics::units::count;
 use trident_workload::model::ModelSpec;
 
 /// Usage pattern of a deployed accelerator.
@@ -81,8 +82,8 @@ pub const ENDURANCE_CYCLES: f64 = 1e12;
 /// Project the wear of running `model` under `usage` on `config`.
 pub fn budget(config: &TridentConfig, model: &ModelSpec, usage: &UsageProfile) -> EnduranceReport {
     let mapping = config.dataflow().map_model(model);
-    let tiles = mapping.total_tiles() as f64;
-    let slots = config.num_pes as f64;
+    let tiles = count(mapping.total_tiles());
+    let slots = count(config.num_pes);
 
     // Weight cells: an inference pass reprograms a cell only when its tile
     // is swapped; a fully resident model never rewrites. Tile-swapped
@@ -100,8 +101,8 @@ pub fn budget(config: &TridentConfig, model: &ModelSpec, usage: &UsageProfile) -
 
     // Activation cells: the busiest cell fires once per output element it
     // serves. Output elements per inference / activation cells on chip.
-    let outputs_per_inference = mapping.total_activation_events() as f64;
-    let activation_cells = (config.num_pes * config.bank_rows) as f64;
+    let outputs_per_inference = count(mapping.total_activation_events());
+    let activation_cells = count(config.num_pes * config.bank_rows);
     let firings_per_inference = outputs_per_inference / activation_cells;
     let training_inference_equiv = usage.training_runs_per_year
         * usage.images_per_run

@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trident_pcm::gst::{GstFault, WriteVerifyPolicy};
 use trident_photonics::ledger::EnergyLedger;
-use trident_photonics::units::{EnergyPj, Nanoseconds};
+use trident_photonics::units::{count, EnergyPj, Nanoseconds};
 
 /// Activation slope of the GST cell (Fig. 3).
 const GST_SLOPE: f64 = 0.34;
@@ -127,7 +127,17 @@ impl PhotonicMlp {
     }
 
     /// Build with full [`EngineOptions`] (fabrication variation etc.).
+    ///
+    /// # Panics
+    /// Panics if the verified initial programming pass hits an
+    /// unrecoverable device error; [`PhotonicMlp::try_with_options`] is
+    /// the typed-error form.
     pub fn with_options(dims: &[usize], opts: EngineOptions) -> Self {
+        Self::try_with_options(dims, opts).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PhotonicMlp::with_options`].
+    pub fn try_with_options(dims: &[usize], opts: EngineOptions) -> Result<Self, ArchError> {
         let EngineOptions {
             bank_rows,
             bank_cols,
@@ -176,8 +186,8 @@ impl PhotonicMlp {
             }
             engine.pes.push(layer_pes);
         }
-        engine.program_forward_weights();
-        engine
+        engine.program_forward_weights()?;
+        Ok(engine)
     }
 
     /// Number of weight layers.
@@ -207,11 +217,25 @@ impl PhotonicMlp {
     }
 
     /// Overwrite layer `k`'s master weights and reprogram the banks.
+    ///
+    /// # Panics
+    /// Panics on a size mismatch or a bad layer index;
+    /// [`PhotonicMlp::try_set_layer_weights`] is the typed-error form.
     pub fn set_layer_weights(&mut self, k: usize, w: &[f64]) {
+        self.try_set_layer_weights(k, w).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PhotonicMlp::set_layer_weights`].
+    pub fn try_set_layer_weights(&mut self, k: usize, w: &[f64]) -> Result<(), ArchError> {
+        if k >= self.layer_count() {
+            return Err(ArchError::LayerOutOfRange { layer: k, layers: self.layer_count() });
+        }
         let (out, inp) = self.layer_dims(k);
-        assert_eq!(w.len(), out * inp, "weight size mismatch for layer {k}");
+        if w.len() != out * inp {
+            return Err(ArchError::ShapeMismatch { expected: out * inp, got: w.len() });
+        }
         self.weights[k] = w.iter().map(|&v| self.quantize(v)).collect();
-        self.program_layer_forward(k);
+        self.program_layer_forward(k)
     }
 
     /// Inject a sampled fault population into every PE of the engine and
@@ -287,7 +311,7 @@ impl PhotonicMlp {
 
     fn quantize(&self, w: f64) -> f64 {
         let levels = (1u32 << self.weight_bits) - 1;
-        let step = 2.0 / (levels - 1) as f64;
+        let step = 2.0 / f64::from(levels - 1);
         (w.clamp(-1.0, 1.0) / step).round() * step
     }
 
@@ -325,7 +349,7 @@ impl PhotonicMlp {
         tile
     }
 
-    fn program_layer_forward(&mut self, k: usize) {
+    fn program_layer_forward(&mut self, k: usize) -> Result<(), ArchError> {
         let (out, inp) = self.layer_dims(k);
         let (_, ct) = self.tile_grid(k);
         let weights = self.weights[k].clone();
@@ -340,19 +364,20 @@ impl PhotonicMlp {
                     // the ring counters, so only internal-shape bugs can
                     // error here.
                     self.pes[k][r * ct + c]
-                        .program_verified(&tile, &policy, &mut self.write_rng)
-                        .expect("forward tiles always match the bank shape");
+                        .program_verified(&tile, &policy, &mut self.write_rng)?;
                 } else {
                     self.pes[k][r * ct + c].program(&tile);
                 }
             }
         }
+        Ok(())
     }
 
-    fn program_forward_weights(&mut self) {
+    fn program_forward_weights(&mut self) -> Result<(), ArchError> {
         for k in 0..self.layer_count() {
-            self.program_layer_forward(k);
+            self.program_layer_forward(k)?;
         }
+        Ok(())
     }
 
     fn program_layer_transposed(&mut self, k: usize) {
@@ -465,7 +490,7 @@ impl PhotonicMlp {
                 correct += 1;
             }
         }
-        correct as f64 / labels.len() as f64
+        f64::from(correct) / count(labels.len())
     }
 
     /// One in-situ training step on a single sample (the paper's
@@ -485,7 +510,7 @@ impl PhotonicMlp {
         label: usize,
         learning_rate: f64,
     ) -> Result<f64, ArchError> {
-        let classes = *self.dims.last().expect("dims checked non-empty at construction");
+        let classes = self.dims.last().copied().unwrap_or(0);
         if label >= classes {
             return Err(ArchError::LabelOutOfRange { label, classes });
         }
@@ -500,11 +525,11 @@ impl PhotonicMlp {
             weight_grads.push(self.outer_product_layer(k, &delta));
             if k > 0 {
                 // Gradient vector for layer k−1: δh = (W_kᵀ δh_k) ⊙ f'(h).
-                delta = self.gradient_vector_layer(k, &delta);
+                delta = self.gradient_vector_layer(k, &delta)?;
             }
         }
         weight_grads.reverse();
-        self.apply_weight_grads(&weight_grads, learning_rate);
+        self.apply_weight_grads(&weight_grads, learning_rate)?;
         Ok(loss)
     }
 
@@ -514,6 +539,11 @@ impl PhotonicMlp {
     /// The projection `project(k, e)` must return `B_k · e` for hidden
     /// layer `k`; the Hadamard with the latched `f'(h_k)` happens here on
     /// the layer's own TIAs.
+    ///
+    /// # Panics
+    /// Panics on bad input width or label;
+    /// [`PhotonicMlp::try_train_sample_with_feedback`] is the typed-error
+    /// form.
     pub fn train_sample_with_feedback(
         &mut self,
         x: &[f64],
@@ -521,7 +551,23 @@ impl PhotonicMlp {
         learning_rate: f64,
         project: &mut dyn FnMut(usize, &[f64]) -> Vec<f64>,
     ) -> f64 {
-        let logits = self.forward(x);
+        self.try_train_sample_with_feedback(x, label, learning_rate, project)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PhotonicMlp::train_sample_with_feedback`].
+    pub fn try_train_sample_with_feedback(
+        &mut self,
+        x: &[f64],
+        label: usize,
+        learning_rate: f64,
+        project: &mut dyn FnMut(usize, &[f64]) -> Vec<f64>,
+    ) -> Result<f64, ArchError> {
+        let classes = self.dims.last().copied().unwrap_or(0);
+        if label >= classes {
+            return Err(ArchError::LabelOutOfRange { label, classes });
+        }
+        let logits = self.try_forward(x)?;
         let (loss, error) = softmax_grad(&logits, label);
         let layer_count = self.layer_count();
         let mut weight_grads: Vec<Vec<f64>> = Vec::with_capacity(layer_count);
@@ -534,8 +580,8 @@ impl PhotonicMlp {
             };
             weight_grads.push(self.outer_product_layer(k, &delta));
         }
-        self.apply_weight_grads(&weight_grads, learning_rate);
-        loss
+        self.apply_weight_grads(&weight_grads, learning_rate)?;
+        Ok(loss)
     }
 
     /// Mini-batch training: one weight update per `batch_size` samples,
@@ -546,6 +592,9 @@ impl PhotonicMlp {
     /// same one-bit-per-position FIFO the convolutional engine uses), and
     /// the per-sample `y` outer-product programming remains — it cannot
     /// amortize because every sample's activations differ.
+    /// # Panics
+    /// Panics on mismatched inputs/labels or a device error;
+    /// [`PhotonicMlp::try_train_batched`] is the typed-error form.
     pub fn train_batched(
         &mut self,
         xs: &[Vec<f64>],
@@ -554,7 +603,22 @@ impl PhotonicMlp {
         epochs: usize,
         batch_size: usize,
     ) -> TrainingOutcome {
-        assert_eq!(xs.len(), labels.len());
+        self.try_train_batched(xs, labels, learning_rate, epochs, batch_size)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PhotonicMlp::train_batched`].
+    pub fn try_train_batched(
+        &mut self,
+        xs: &[Vec<f64>],
+        labels: &[usize],
+        learning_rate: f64,
+        epochs: usize,
+        batch_size: usize,
+    ) -> Result<TrainingOutcome, ArchError> {
+        if xs.len() != labels.len() {
+            return Err(ArchError::ShapeMismatch { expected: xs.len(), got: labels.len() });
+        }
         assert!(batch_size >= 1);
         let layer_count = self.layer_count();
         let (threshold, slope) = self.activation();
@@ -565,14 +629,16 @@ impl PhotonicMlp {
                 let (bx, bl) = batch;
                 // Forward every sample with stationary weights; cache the
                 // per-sample logits (the spilled LDSU bits) and inputs.
-                let mut sample_deltas = Vec::with_capacity(bx.len());
+                // `sample_deltas[s]` always holds the *current* (deepest
+                // computed) error vector of sample `s`.
+                let mut sample_deltas: Vec<Vec<f64>> = Vec::with_capacity(bx.len());
                 let mut sample_logits = Vec::with_capacity(bx.len());
                 let mut sample_inputs = Vec::with_capacity(bx.len());
                 for (x, &label) in bx.iter().zip(bl) {
-                    let logits = self.forward(x);
+                    let logits = self.try_forward(x)?;
                     let (loss, delta) = softmax_grad(&logits, label);
                     epoch_loss += loss;
-                    sample_deltas.push(vec![delta]);
+                    sample_deltas.push(delta);
                     sample_logits.push(self.cached_logits.clone());
                     sample_inputs.push(self.cached_inputs.clone());
                 }
@@ -587,7 +653,7 @@ impl PhotonicMlp {
                 for k in (0..layer_count).rev() {
                     // Outer products for layer k, per sample.
                     for s in 0..bx.len() {
-                        let delta = sample_deltas[s].last().unwrap().clone();
+                        let delta = sample_deltas[s].clone();
                         // Point the outer product at this sample's input.
                         self.cached_inputs = sample_inputs[s].clone();
                         let g = self.outer_product_layer(k, &delta);
@@ -598,7 +664,7 @@ impl PhotonicMlp {
                     if k > 0 {
                         self.program_layer_transposed(k);
                         for s in 0..bx.len() {
-                            let delta = sample_deltas[s].last().unwrap().clone();
+                            let delta = sample_deltas[s].clone();
                             let v = self.transposed_mvm(k, &delta);
                             // Hadamard with the spilled f'(h_{k-1}) bits.
                             let h = &sample_logits[s][k - 1];
@@ -613,23 +679,23 @@ impl PhotonicMlp {
                                     }
                                 })
                                 .collect();
-                            sample_deltas[s].push(next);
+                            sample_deltas[s] = next;
                         }
-                        self.program_layer_forward(k);
+                        self.program_layer_forward(k)?;
                     }
                 }
-                self.apply_weight_grads(&grads, learning_rate);
+                self.apply_weight_grads(&grads, learning_rate)?;
             }
             loss_history.push(epoch_loss / xs.len() as f64);
         }
         let final_accuracy = self.accuracy(xs, labels);
-        TrainingOutcome {
+        Ok(TrainingOutcome {
             loss_history,
             final_accuracy,
             total_energy: self.total_energy(),
             programming_energy: self.programming_energy(),
             elapsed: self.total_elapsed(),
-        }
+        })
     }
 
     /// Signed MVM through layer `k`'s banks assuming they currently hold
@@ -663,7 +729,11 @@ impl PhotonicMlp {
 
     /// Eq. 1: `W ← W − β δW`, clipped to the photonic range, quantized to
     /// the tuning grid, and programmed back into the forward banks.
-    fn apply_weight_grads(&mut self, weight_grads: &[Vec<f64>], learning_rate: f64) {
+    fn apply_weight_grads(
+        &mut self,
+        weight_grads: &[Vec<f64>],
+        learning_rate: f64,
+    ) -> Result<(), ArchError> {
         for k in 0..self.layer_count() {
             let grads = &weight_grads[k];
             for (w, &g) in self.weights[k].iter_mut().zip(grads) {
@@ -672,8 +742,9 @@ impl PhotonicMlp {
             let quantized: Vec<f64> =
                 self.weights[k].iter().map(|&w| self.quantize(w)).collect();
             self.weights[k] = quantized;
-            self.program_layer_forward(k);
+            self.program_layer_forward(k)?;
         }
+        Ok(())
     }
 
     /// Multiply a per-row vector by `f'(h_k)` stored in layer `k`'s LDSUs
@@ -698,7 +769,7 @@ impl PhotonicMlp {
     /// Table II gradient-vector mode for layer `k`: program `W_kᵀ`, run a
     /// signed MVM of `delta`, apply the latched `f'(h_{k-1})` of the
     /// *previous* layer via its TIA gains.
-    fn gradient_vector_layer(&mut self, k: usize, delta: &[f64]) -> Vec<f64> {
+    fn gradient_vector_layer(&mut self, k: usize, delta: &[f64]) -> Result<Vec<f64>, ArchError> {
         let (out, inp) = self.layer_dims(k);
         assert_eq!(delta.len(), out);
         self.program_layer_transposed(k);
@@ -727,11 +798,11 @@ impl PhotonicMlp {
             }
         }
         // Restore the forward weights for the next forward pass.
-        self.program_layer_forward(k);
+        self.program_layer_forward(k)?;
         // Hadamard with f'(h_{k-1}) from the previous layer's LDSUs.
         let (prev_out, _) = self.layer_dims(k - 1);
         assert_eq!(prev_out, inp);
-        self.hadamard_with_latched_derivatives(k - 1, &v)
+        Ok(self.hadamard_with_latched_derivatives(k - 1, &v))
     }
 
     /// Table II outer-product mode for layer `k`: `δW = δh ⊗ y_{k-1}`,
@@ -764,6 +835,10 @@ impl PhotonicMlp {
     }
 
     /// Train for `epochs` over a dataset, evaluating on the same set.
+    ///
+    /// # Panics
+    /// Panics on mismatched inputs/labels or a device error;
+    /// [`PhotonicMlp::try_train`] is the typed-error form.
     pub fn train(
         &mut self,
         xs: &[Vec<f64>],
@@ -771,23 +846,36 @@ impl PhotonicMlp {
         learning_rate: f64,
         epochs: usize,
     ) -> TrainingOutcome {
-        assert_eq!(xs.len(), labels.len());
+        self.try_train(xs, labels, learning_rate, epochs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`PhotonicMlp::train`].
+    pub fn try_train(
+        &mut self,
+        xs: &[Vec<f64>],
+        labels: &[usize],
+        learning_rate: f64,
+        epochs: usize,
+    ) -> Result<TrainingOutcome, ArchError> {
+        if xs.len() != labels.len() {
+            return Err(ArchError::ShapeMismatch { expected: xs.len(), got: labels.len() });
+        }
         let mut loss_history = Vec::with_capacity(epochs);
         for _ in 0..epochs {
             let mut total = 0.0;
             for (x, &label) in xs.iter().zip(labels) {
-                total += self.train_sample(x, label, learning_rate);
+                total += self.try_train_sample(x, label, learning_rate)?;
             }
             loss_history.push(total / xs.len() as f64);
         }
         let final_accuracy = self.accuracy(xs, labels);
-        TrainingOutcome {
+        Ok(TrainingOutcome {
             loss_history,
             final_accuracy,
             total_energy: self.total_energy(),
             programming_energy: self.programming_energy(),
             elapsed: self.total_elapsed(),
-        }
+        })
     }
 
     /// Aggregate energy across all PEs and engine-level charges.
@@ -905,7 +993,7 @@ mod tests {
         let x = [0.2, 0.9, 0.4, 0.1, 0.7, 0.5];
         engine.forward(&x);
         let delta = vec![0.3, -0.7, 0.2];
-        let photonic = engine.gradient_vector_layer(1, &delta);
+        let photonic = engine.gradient_vector_layer(1, &delta).expect("valid layer");
         // Math: (W1ᵀ δ) ⊙ f'(h0).
         let (out, inp) = engine.layer_dims(1);
         let w = engine.layer_weights(1).to_vec();

@@ -271,7 +271,7 @@ impl ProcessingElement {
 
     /// Apply the programmed TIA gains to a per-row vector.
     pub fn apply_tia_gains(&self, v: &[f64]) -> Vec<f64> {
-        v.iter().zip(&self.tias).map(|(&x, tia)| tia.amplify(x) / tia.transimpedance_kohm).collect()
+        v.iter().zip(&self.tias).map(|(&x, tia)| tia.amplify_v(x) / tia.transimpedance_kohm).collect()
     }
 
     /// The stored derivative of row `r` (for tests and the engine).

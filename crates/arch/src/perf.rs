@@ -42,7 +42,7 @@
 
 use crate::config::TridentConfig;
 use serde::{Deserialize, Serialize};
-use trident_photonics::units::{EnergyPj, Nanoseconds, PowerMw};
+use trident_photonics::units::{count, EnergyPj, Hertz, Nanoseconds, PowerMw};
 use trident_workload::dataflow::LayerMapping;
 use trident_workload::model::ModelSpec;
 
@@ -112,7 +112,12 @@ impl ModelPerf {
 
     /// Inferences per second (steady-state throughput).
     pub fn inferences_per_second(&self) -> f64 {
-        1.0 / self.latency().secs()
+        self.inference_rate().value()
+    }
+
+    /// Steady-state inference throughput as a typed rate.
+    pub fn inference_rate(&self) -> Hertz {
+        Hertz(1.0 / self.latency().secs())
     }
 
     /// Energy per inference in millijoules.
@@ -164,7 +169,7 @@ impl TridentPerfModel {
     pub fn op_power_per_pe(&self) -> PowerMw {
         let c = &self.config;
         let read = c.mrr_read_energy.over_duration(Nanoseconds(300.0))
-            * c.mrrs_per_pe() as f64;
+            * count(c.mrrs_per_pe());
         read + c.bpd_tia_power + c.cache_power + c.ldsu_power + c.eo_laser_power
             + c.extra_pe_power
     }
@@ -173,30 +178,30 @@ impl TridentPerfModel {
     /// (Table III: 16 cells × 1 nJ / 300 ns = 53.3 mW).
     pub fn reset_power_per_pe(&self) -> PowerMw {
         self.config.activation_reset_energy.over_duration(Nanoseconds(300.0))
-            * self.config.bank_rows as f64
+            * count(self.config.bank_rows)
     }
 
     /// Spatial replication factor for a layer occupying `tiles` tiles.
     pub fn replication(&self, tiles: u64) -> u64 {
-        (self.config.num_pes as u64 / tiles.max(1)).max(1)
+        (self.config.pe_slots() / tiles.max(1)).max(1)
     }
 
     /// Analyse one mapped layer.
     pub fn analyze_layer(&self, m: &LayerMapping) -> LayerPerf {
         let c = &self.config;
-        let b = self.tuning_batch as f64;
+        let b = count(self.tuning_batch);
         let symbol = c.symbol_time;
         let replication = self.replication(m.tiles);
         // Work-conserving schedule: the control unit may split any tile's
         // vector stream across idle PEs (replicating its weights), so the
         // wall-clock floor is total tile-vector work over the array.
         let total_work = m.tiles * m.vectors_per_tile;
-        let stream_units = total_work.div_ceil(self.config.num_pes as u64);
-        let stream_latency = symbol * stream_units as f64;
-        let tune_latency = c.tuning.write_time * m.passes as f64 / b;
-        // PE-seconds of streaming: every tile streams its vectors (the
+        let stream_units = total_work.div_ceil(self.config.pe_slots());
+        let stream_latency = symbol * count(stream_units);
+        let tune_latency = c.tuning.write_time * count(m.passes) / b;
+        // PE-time of streaming: every tile streams its vectors (the
         // replicas split the same vector set, so total PE·s is unchanged).
-        let pe_seconds_ns = total_work as f64 * symbol.value();
+        let pe_time = Nanoseconds(count(total_work) * symbol.value());
         let hold_energy = if c.tuning.non_volatile {
             EnergyPj::ZERO
         } else {
@@ -204,12 +209,8 @@ impl TridentPerfModel {
             // detuning; averaged over trained weight distributions the
             // heater sits near half of full scale.
             const HOLD_DUTY: f64 = 0.5;
-            EnergyPj(
-                c.tuning.hold_power.value()
-                    * HOLD_DUTY
-                    * c.mrrs_per_pe() as f64
-                    * pe_seconds_ns,
-            )
+            (c.tuning.hold_power * HOLD_DUTY * count(c.mrrs_per_pe()))
+                .for_duration(pe_time)
         };
         LayerPerf {
             name: m.layer_name.clone(),
@@ -217,15 +218,15 @@ impl TridentPerfModel {
             stream_latency,
             tune_latency,
             tuning_energy: c.tuning.write_energy
-                * (m.weight_writes as f64 * replication as f64 / b),
+                * (count(m.weight_writes) * count(replication) / b),
             hold_energy,
-            op_energy: EnergyPj(self.op_power_per_pe().value() * pe_seconds_ns),
-            reset_energy: EnergyPj(self.reset_power_per_pe().value() * pe_seconds_ns),
+            op_energy: self.op_power_per_pe().for_duration(pe_time),
+            reset_energy: self.reset_power_per_pe().for_duration(pe_time),
             cache_energy: c.cache_access_energy
-                * (m.input_reads + m.output_writes) as f64,
-            psum_energy: c.psum_energy * m.psum_accumulations as f64,
-            adc_energy: c.adc_energy * m.output_writes as f64,
-            mac_energy: c.extra_mac_energy * m.macs as f64,
+                * count(m.input_reads + m.output_writes),
+            psum_energy: c.psum_energy * count(m.psum_accumulations),
+            adc_energy: c.adc_energy * count(m.output_writes),
+            mac_energy: c.extra_mac_energy * count(m.macs),
         }
     }
 

@@ -110,9 +110,9 @@ pub fn simulate(perf: &TridentPerfModel, model: &ModelSpec, batch: usize) -> Pip
     let bottleneck = stages
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.service.value().partial_cmp(&b.1.service.value()).unwrap())
+        .max_by(|a, b| a.1.service.value().total_cmp(&b.1.service.value()))
         .map(|(i, _)| i)
-        .unwrap();
+        .unwrap_or(0);
     PipelineReport {
         model_name: model.name.clone(),
         batch,

@@ -19,7 +19,7 @@
 use crate::config::TridentConfig;
 use serde::{Deserialize, Serialize};
 use trident_photonics::ledger::PowerLedger;
-use trident_photonics::units::{Nanoseconds, PowerMw};
+use trident_photonics::units::{count, Nanoseconds, PowerMw};
 
 /// Ledger item names used across the power model (shared with the
 /// experiment binaries so printed tables stay consistent).
@@ -60,20 +60,20 @@ impl PePowerModel {
     /// sum.
     pub fn tuning_power(&self) -> PowerMw {
         self.config.tuning.write_power().max(self.config.tuning.hold_power)
-            * self.config.mrrs_per_pe() as f64
+            * count(self.config.mrrs_per_pe())
     }
 
     /// Read-probe power with every MRR active.
     pub fn read_power(&self) -> PowerMw {
         let per_mrr = self.config.mrr_read_energy.over_duration(Nanoseconds(300.0));
-        per_mrr * self.config.mrrs_per_pe() as f64
+        per_mrr * count(self.config.mrrs_per_pe())
     }
 
     /// Activation-cell reset power with every row firing each cycle.
     pub fn activation_reset_power(&self) -> PowerMw {
         let per_cell =
             self.config.activation_reset_energy.over_duration(Nanoseconds(300.0));
-        per_cell * self.config.bank_rows as f64
+        per_cell * count(self.config.bank_rows)
     }
 
     /// Full worst-case breakdown (everything active at once) — Table III.
@@ -107,7 +107,7 @@ impl PePowerModel {
         let tuning = if self.config.tuning.non_volatile {
             PowerMw::ZERO
         } else {
-            self.config.tuning.hold_power * self.config.mrrs_per_pe() as f64
+            self.config.tuning.hold_power * count(self.config.mrrs_per_pe())
         };
         // Rebuild without the write-power component.
         let mut steady = PowerLedger::new();
@@ -123,9 +123,9 @@ impl PePowerModel {
         ledger.total()
     }
 
-    /// Array-level worst-case power in watts.
-    pub fn array_worst_case_w(&self) -> f64 {
-        self.worst_case().watts() * self.config.num_pes as f64
+    /// Array-level worst-case power across every PE.
+    pub fn array_worst_case(&self) -> PowerMw {
+        self.worst_case() * count(self.config.num_pes)
     }
 }
 
@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn array_power_fits_envelope() {
         let m = model();
-        let array = m.array_worst_case_w();
+        let array = m.array_worst_case().watts();
         assert!(array <= 30.0, "44 PEs × 0.67 W = {array} W must fit 30 W");
         assert!(array > 29.0, "the envelope should be nearly used");
     }

@@ -139,7 +139,7 @@ mod tests {
     fn digit_data(per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
         let data = synthetic_digits(per_class, 0.05, 99);
         let xs = (0..data.len())
-            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
             .collect();
         (xs, data.labels)
     }

@@ -12,6 +12,7 @@
 //! not in the table, so user-supplied topologies still get a sane number.
 
 use crate::traits::AcceleratorModel;
+use trident_photonics::units::count;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use trident_workload::model::ModelSpec;
@@ -38,11 +39,11 @@ pub struct ElectronicAccelerator {
 impl ElectronicAccelerator {
     /// Roofline-estimated inference rate (fallback path).
     pub fn roofline_inferences_per_second(&self, model: &ModelSpec) -> f64 {
-        let ops = model.total_ops() as f64;
+        let ops = count(model.total_ops());
         let compute_s = ops / (self.peak_tops * 1e12 * self.utilization);
-        let weight_bytes = model.total_params() as f64 * self.bytes_per_weight;
+        let weight_bytes = count(model.total_params()) * self.bytes_per_weight;
         let mem_s = weight_bytes / (self.mem_bw_gb_s * 1e9);
-        let overhead_s = model.mac_layer_count() as f64 * self.layer_overhead_us * 1e-6;
+        let overhead_s = count(model.mac_layer_count()) * self.layer_overhead_us * 1e-6;
         1.0 / (compute_s.max(mem_s) + overhead_s)
     }
 

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use trident_arch::config::TridentConfig;
 use trident_arch::perf::{ModelPerf, TridentPerfModel};
 use trident_photonics::tuning::TuningProfile;
-use trident_photonics::units::{EnergyPj, Nanoseconds, PowerMw};
+use trident_photonics::units::{count, EnergyPj, PowerMw};
 use trident_workload::model::ModelSpec;
 
 /// A photonic accelerator: a configured per-device performance model plus
@@ -123,7 +123,7 @@ pub fn deap_cnn() -> PhotonicAccelerator {
     // ADC per row plus the DAC that re-modulates the digitally computed
     // activation onto the next layer's lasers.
     config.extra_pe_power =
-        PowerMw((ADC_POWER_PER_ROW_MW + DAC_POWER_PER_ROW_MW) * config.bank_rows as f64);
+        PowerMw((ADC_POWER_PER_ROW_MW + DAC_POWER_PER_ROW_MW) * count(config.bank_rows));
     let config = config.scaled_to_envelope(30.0);
     PhotonicAccelerator::new("DEAP-CNN", TridentPerfModel::new(config, 8), false)
 }
@@ -138,9 +138,9 @@ pub fn crosslight() -> PhotonicAccelerator {
     // ADC array + per-row summation VCSEL (10 mW) + per-ring electro-optic
     // trim circuit (1 mW × 256).
     config.extra_pe_power = PowerMw(
-        ADC_POWER_PER_ROW_MW * config.bank_rows as f64
-            + 10.0 * config.bank_rows as f64
-            + 0.5 * config.mrrs_per_pe() as f64,
+        ADC_POWER_PER_ROW_MW * count(config.bank_rows)
+            + 10.0 * count(config.bank_rows)
+            + 0.5 * count(config.mrrs_per_pe()),
     );
     let config = config.scaled_to_envelope(30.0);
     PhotonicAccelerator::new("CrossLight", TridentPerfModel::new(config, 8), false)
@@ -156,12 +156,12 @@ pub fn pixel() -> PhotonicAccelerator {
     config.adc_energy = EnergyPj(ADC_ROUNDTRIP_PJ);
     // MZM bias per row plus the ADC array.
     config.extra_pe_power = PowerMw(
-        ADC_POWER_PER_ROW_MW * config.bank_rows as f64 + 12.5 * config.bank_rows as f64,
+        ADC_POWER_PER_ROW_MW * count(config.bank_rows) + 12.5 * count(config.bank_rows),
     );
     // MZM charging energy per analog accumulation.
     config.extra_mac_energy = EnergyPj(0.05);
     // Bit-serial OO operation stretches the effective vector rate.
-    config.symbol_time = Nanoseconds(config.symbol_time.value() * 2.0);
+    config.symbol_time = config.symbol_time * 2.0;
     let config = config.scaled_to_envelope(30.0);
     PhotonicAccelerator::new("PIXEL", TridentPerfModel::new(config, 8), false)
 }

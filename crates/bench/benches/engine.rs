@@ -1,6 +1,8 @@
 //! Criterion benchmarks of the functional engine: photonic forward
 //! passes, in-situ training steps, and the PE operating modes.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use trident::arch::engine::PhotonicMlp;
 use trident::arch::pe::ProcessingElement;

@@ -3,6 +3,8 @@
 //! cached optical matrix-vector product — the hot paths of the functional
 //! simulator.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use trident::arch::bank::WeightBank;
 use trident::pcm::gst::GstParameters;

@@ -3,6 +3,8 @@
 //! runners that regenerate the paper's tables — these are what a user
 //! sweeping design spaces pays for per iteration.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use trident::arch::perf::TridentPerfModel;
 use trident::workload::dataflow::DataflowModel;

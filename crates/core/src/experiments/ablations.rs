@@ -46,7 +46,7 @@ pub mod bits {
     ) -> Vec<Row> {
         let data = synthetic_digits(per_class, 0.05, 77);
         let xs: Vec<Vec<f64>> = (0..data.len())
-            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
             .collect();
         bit_range
             .iter()
@@ -58,7 +58,7 @@ pub mod bits {
                 Row {
                     bits,
                     accuracy: outcome.final_accuracy,
-                    final_loss: *outcome.loss_history.last().unwrap(),
+                    final_loss: outcome.loss_history.last().copied().unwrap_or(f64::NAN),
                 }
             })
             .collect()
@@ -277,7 +277,7 @@ pub mod dfa_vs_bp {
     pub fn run(per_class: usize, epochs: usize) -> Vec<Row> {
         let data = synthetic_digits(per_class, 0.05, 31);
         let xs: Vec<Vec<f64>> = (0..data.len())
-            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
             .collect();
 
         let mut bp = PhotonicMlp::new(&[64, 16, 10], 16, 16, 7, None, 8);
@@ -333,7 +333,7 @@ pub mod variation {
     ) -> Vec<trident_arch::variation::VariationRow> {
         let data = synthetic_digits(per_class, 0.05, 99);
         let xs: Vec<Vec<f64>> = (0..data.len())
-            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
             .collect();
         let study = VariationStudy { trials, ..Default::default() };
         study.run(sigmas_nm, &xs, &data.labels)
@@ -369,7 +369,7 @@ pub mod faults {
     pub fn run(stuck_rates: &[f64], per_class: usize, trials: usize) -> Vec<FaultCampaignRow> {
         let data = synthetic_digits(per_class, 0.05, 99);
         let xs: Vec<Vec<f64>> = (0..data.len())
-            .map(|i| data.inputs.row(i).iter().map(|&v| v as f64).collect())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
             .collect();
         let plans: Vec<FaultPlan> =
             stuck_rates.iter().map(|&rate| FaultPlan::stuck_cells(rate, 404)).collect();

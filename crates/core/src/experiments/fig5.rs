@@ -28,7 +28,7 @@ pub fn run() -> (Vec<Row>, f64) {
             share: area.mm2() / total,
         })
         .collect();
-    rows.sort_by(|a, b| b.area_mm2.partial_cmp(&a.area_mm2).unwrap());
+    rows.sort_by(|a, b| b.area_mm2.total_cmp(&a.area_mm2));
     (rows, total)
 }
 

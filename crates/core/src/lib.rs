@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless))]
 
 pub use trident_arch as arch;
 pub use trident_baselines as baselines;

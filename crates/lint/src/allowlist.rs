@@ -1,0 +1,215 @@
+//! The `lint-allow.toml` allowlist.
+//!
+//! A hand-rolled parser for the tiny TOML subset the allowlist needs:
+//! `[[allow]]` table arrays whose entries are `key = "string"` or
+//! `key = ["a", "b"]`, plus `#` comments. Keeping the grammar this small
+//! is deliberate — entries stay diff-friendly (one file, one reason, a
+//! set of rules and optional function scopes; never line numbers, which
+//! would churn on every edit).
+
+use crate::rules::Finding;
+use std::fmt;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Repo-relative file the exemption applies to.
+    pub file: String,
+    /// Rule ids exempted in that file.
+    pub rules: Vec<String>,
+    /// Optional enclosing-function scopes; empty means the whole file.
+    pub scopes: Vec<String>,
+    /// Why the exemption is justified (required, shown in reports).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Does this entry cover the finding?
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.file == f.file
+            && self.rules.iter().any(|r| r == f.rule)
+            && (self.scopes.is_empty()
+                || f.scope.as_ref().is_some_and(|s| self.scopes.iter().any(|e| e == s)))
+    }
+}
+
+/// A parse failure with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AllowParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint-allow.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AllowParseError {}
+
+/// Parse the allowlist text.
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut in_entry = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(AllowEntry::default());
+            in_entry = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("unsupported table `{line}`; only [[allow]] is recognised"),
+            });
+        }
+        if !in_entry {
+            return Err(AllowParseError {
+                line: lineno,
+                message: "key outside any [[allow]] entry".to_string(),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("expected `key = value`, got `{line}`"),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let Some(entry) = entries.last_mut() else {
+            return Err(AllowParseError { line: lineno, message: "no open entry".to_string() });
+        };
+        match key {
+            "file" => entry.file = parse_string(value, lineno)?,
+            "reason" => entry.reason = parse_string(value, lineno)?,
+            "rules" => entry.rules = parse_string_array(value, lineno)?,
+            "scopes" => entry.scopes = parse_string_array(value, lineno)?,
+            other => {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` (expected file/rules/scopes/reason)"),
+                })
+            }
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if e.file.is_empty() || e.rules.is_empty() || e.reason.is_empty() {
+            return Err(AllowParseError {
+                line: 0,
+                message: format!(
+                    "entry #{} must set `file`, `rules`, and `reason`",
+                    i + 1
+                ),
+            });
+        }
+    }
+    Ok(entries)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A '#' outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, line: usize) -> Result<String, AllowParseError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(AllowParseError {
+            line,
+            message: format!("expected a quoted string, got `{v}`"),
+        })
+    }
+}
+
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, AllowParseError> {
+    let v = value.trim();
+    let Some(inner) = v.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+        return Err(AllowParseError {
+            line,
+            message: format!("expected an array of strings, got `{v}`"),
+        });
+    };
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# exemptions, smallest possible set
+[[allow]]
+file = "crates/photonics/src/units.rs"
+rules = ["no-cast", "no-bare-f64"]
+reason = "the conversion boundary"
+
+[[allow]]
+file = "crates/arch/src/engine.rs"
+rules = ["no-panic"]
+scopes = ["forward", "predict"]
+reason = "documented panic front-doors"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let entries = parse(SAMPLE).expect("sample parses");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].rules, vec!["no-cast", "no-bare-f64"]);
+        assert!(entries[0].scopes.is_empty());
+        assert_eq!(entries[1].scopes, vec!["forward", "predict"]);
+    }
+
+    #[test]
+    fn covers_matches_scope() {
+        let entries = parse(SAMPLE).expect("sample parses");
+        let hit = Finding {
+            file: "crates/arch/src/engine.rs".into(),
+            line: 10,
+            rule: "no-panic",
+            scope: Some("forward".into()),
+            message: String::new(),
+        };
+        let miss = Finding { scope: Some("train".into()), ..hit.clone() };
+        assert!(entries[1].covers(&hit));
+        assert!(!entries[1].covers(&miss));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let bad = "[[allow]]\nfile = \"x.rs\"\nrules = [\"no-panic\"]\n";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let bad = "[[allow]]\nfile = \"x.rs\"\nlines = [3]\n";
+        assert!(parse(bad).is_err());
+    }
+}

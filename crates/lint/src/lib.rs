@@ -1,0 +1,177 @@
+//! trident-lint: the repo's own invariant linter.
+//!
+//! Walks `crates/*/src` and enforces the invariants the energy/latency
+//! model depends on (see DESIGN.md §"Static analysis & dimensional
+//! safety"):
+//!
+//! 1. **no-panic** — no `unwrap`/`expect`/`panic!`-family macros in
+//!    non-test library code. Documented panic front-doors over `try_*`
+//!    APIs are exempted per function via `lint-allow.toml`.
+//! 2. **no-cast** — no raw `as` numeric casts in unit-bearing modules;
+//!    integer populations enter float arithmetic through
+//!    `photonics::units::count`, float→index conversions through
+//!    `index_clamped`.
+//! 3. **no-bare-f64** — public quantity-returning functions in
+//!    unit-bearing modules either return a `photonics::units` newtype or
+//!    name their unit in the identifier; quantity-named `f64` parameters
+//!    are rejected outright.
+//! 4. **error-impl** — every `pub enum *Error` implements both `Display`
+//!    and `std::error::Error`.
+//!
+//! Self-contained by design: no dependencies, a hand-rolled token
+//! scanner, and a hand-rolled parser for the tiny TOML subset of
+//! `lint-allow.toml`. The linter also lints itself — this crate's own
+//! sources are part of the walk.
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod allowlist;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+
+use allowlist::AllowEntry;
+use report::Report;
+use rules::{ErrorEnum, TraitImpl};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A fatal error running the linter (I/O, bad allowlist).
+#[derive(Debug)]
+pub enum LintError {
+    /// The walk or a file read failed.
+    Io {
+        /// Path that failed.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The allowlist did not parse.
+    Allowlist(allowlist::AllowParseError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            Self::Allowlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Allowlist(e) => Some(e),
+        }
+    }
+}
+
+/// Run the linter over `root` (the workspace directory that contains
+/// `crates/`). `allow` is the parsed allowlist.
+pub fn run(root: &Path, allow: &[AllowEntry]) -> Result<Report, LintError> {
+    let mut files = collect_sources(root)?;
+    files.sort();
+    let mut report = Report { files_scanned: files.len(), ..Default::default() };
+    let mut enums: Vec<ErrorEnum> = Vec::new();
+    let mut impls: Vec<TraitImpl> = Vec::new();
+    let mut all: Vec<rules::Finding> = Vec::new();
+
+    for path in &files {
+        let text = fs::read_to_string(path)
+            .map_err(|source| LintError::Io { path: path.clone(), source })?;
+        let rel = relative(root, path);
+        let krate = crate_of(&rel);
+        let tokens = scanner::tokenize(&scanner::mask(&text));
+        all.extend(rules::check_file(&rel, &tokens));
+        rules::collect_error_decls(&rel, &krate, &tokens, &mut enums, &mut impls);
+    }
+    all.extend(rules::check_error_impls(&enums, &impls));
+
+    let mut used = vec![false; allow.len()];
+    for f in all {
+        match allow.iter().position(|e| e.covers(&f)) {
+            Some(i) => {
+                used[i] = true;
+                report.allowed.push(f);
+            }
+            None => report.findings.push(f),
+        }
+    }
+    report.stale_allows = allow
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    Ok(report)
+}
+
+/// Load and parse `lint-allow.toml` under `root`; a missing file is an
+/// empty allowlist.
+pub fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, LintError> {
+    let path = root.join("lint-allow.toml");
+    match fs::read_to_string(&path) {
+        Ok(text) => allowlist::parse(&text).map_err(LintError::Allowlist),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(source) => Err(LintError::Io { path, source }),
+    }
+}
+
+/// All `.rs` files under `crates/*/src`, excluding per-crate `src/bin`
+/// trees (top-level binaries may exit noisily by design).
+fn collect_sources(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|source| LintError::Io { path: crates_dir.clone(), source })?;
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk(&src, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if dir.file_name().is_some_and(|n| n == "bin") {
+        return Ok(());
+    }
+    let entries =
+        fs::read_dir(dir).map_err(|source| LintError::Io { path: dir.to_path_buf(), source })?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// The crate directory name of a repo-relative path
+/// (`crates/arch/src/engine.rs` → `arch`).
+fn crate_of(rel: &str) -> String {
+    rel.split('/').nth(1).unwrap_or("").to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_extracts_directory() {
+        assert_eq!(crate_of("crates/arch/src/engine.rs"), "arch");
+        assert_eq!(crate_of("crates/photonics/src/units.rs"), "photonics");
+    }
+}

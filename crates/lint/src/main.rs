@@ -1,0 +1,106 @@
+//! `trident-lint` CLI.
+//!
+//! ```text
+//! trident-lint [--root PATH] [--format text|json] [--allowlist PATH]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    allowlist: Option<PathBuf>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        allowlist: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root =
+                    PathBuf::from(it.next().ok_or("--root needs a path argument")?);
+            }
+            "--allowlist" => {
+                args.allowlist =
+                    Some(PathBuf::from(it.next().ok_or("--allowlist needs a path argument")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.format = Format::Text,
+                Some("json") => args.format = Format::Json,
+                other => {
+                    return Err(format!(
+                        "--format must be `text` or `json`, got {other:?}"
+                    ))
+                }
+            },
+            "--help" | "-h" => {
+                return Err("usage: trident-lint [--root PATH] [--format text|json] [--allowlist PATH]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let allow = match args.allowlist {
+        Some(ref path) => match std::fs::read_to_string(path) {
+            Ok(text) => match trident_lint::allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => match trident_lint::load_allowlist(&args.root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let report = match trident_lint::run(&args.root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        Format::Text => print!("{}", report.to_text()),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,147 @@
+//! Text and JSON rendering of a lint run.
+
+use crate::allowlist::AllowEntry;
+use crate::rules::Finding;
+
+/// The outcome of a full lint run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Violations not covered by the allowlist — these fail the run.
+    pub findings: Vec<Finding>,
+    /// Violations covered by an allowlist entry (counted, not failing).
+    pub allowed: Vec<Finding>,
+    /// Allowlist entries that covered nothing — candidates for deletion.
+    pub stale_allows: Vec<AllowEntry>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when no unallowed finding survived.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let scope = f.scope.as_deref().map(|s| format!(" (in fn {s})")).unwrap_or_default();
+            out.push_str(&format!(
+                "{}:{}: [{}] {}{}\n",
+                f.file, f.line, f.rule, f.message, scope
+            ));
+        }
+        for e in &self.stale_allows {
+            out.push_str(&format!(
+                "lint-allow.toml: stale entry for {} ({:?}) — covers nothing, delete it\n",
+                e.file, e.rules
+            ));
+        }
+        out.push_str(&format!(
+            "trident-lint: {} file(s) scanned, {} finding(s), {} allowlisted\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.allowed.len()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (stable key order, no dependencies).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str("  \"findings\": [\n");
+        push_findings(&mut out, &self.findings);
+        out.push_str("  ],\n");
+        out.push_str("  \"allowed\": [\n");
+        push_findings(&mut out, &self.allowed);
+        out.push_str("  ],\n");
+        out.push_str("  \"stale_allows\": [\n");
+        for (i, e) in self.stale_allows.iter().enumerate() {
+            let comma = if i + 1 < self.stale_allows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"file\": {}, \"rules\": [{}]}}{}\n",
+                json_string(&e.file),
+                e.rules.iter().map(|r| json_string(r)).collect::<Vec<_>>().join(", "),
+                comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn push_findings(out: &mut String, findings: &[Finding]) {
+    for (i, f) in findings.iter().enumerate() {
+        let comma = if i + 1 < findings.len() { "," } else { "" };
+        let scope = match f.scope {
+            Some(ref s) => json_string(s),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"scope\": {}, \"message\": {}}}{}\n",
+            json_string(&f.file),
+            f.line,
+            json_string(f.rule),
+            scope,
+            json_string(&f.message),
+            comma
+        ));
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            rule: "no-panic",
+            scope: Some("f".into()),
+            message: "`.unwrap()` in library code".into(),
+        }
+    }
+
+    #[test]
+    fn text_names_file_line_rule() {
+        let r = Report { findings: vec![finding()], files_scanned: 1, ..Default::default() };
+        let t = r.to_text();
+        assert!(t.contains("crates/x/src/a.rs:3: [no-panic]"));
+        assert!(t.contains("(in fn f)"));
+    }
+
+    #[test]
+    fn json_escapes_and_balances() {
+        let mut f = finding();
+        f.message = "quote \" backslash \\ done".into();
+        let r = Report { findings: vec![f], files_scanned: 1, ..Default::default() };
+        let j = r.to_json();
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\\\\"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"clean\": false"));
+    }
+}

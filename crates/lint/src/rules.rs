@@ -1,0 +1,463 @@
+//! The lint rules.
+//!
+//! | rule         | scope                 | what it rejects                              |
+//! |--------------|-----------------------|----------------------------------------------|
+//! | `no-panic`   | all library code      | `.unwrap()`, `.expect(…)`, `panic!`, `todo!`, `unimplemented!`, `unreachable!` |
+//! | `no-cast`    | unit-bearing modules  | raw `as` numeric casts                       |
+//! | `no-bare-f64`| unit-bearing modules  | `pub fn` quantities without a unit in the name, bare-`f64` quantity params |
+//! | `error-impl` | all library code      | `pub enum *Error` without `Display` + `std::error::Error` |
+//!
+//! Unit-bearing modules are where Table IV–VI numbers are assembled:
+//! `arch/{power,perf,area,endurance}.rs`, everything in `photonics/`,
+//! everything in `baselines/`. There the energy/latency arithmetic must
+//! flow through `photonics::units` newtypes; a raw `f64` is assumed to be
+//! a dimensionless factor and must say so in its name.
+
+use crate::scanner::Token;
+
+/// A single rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`no-panic`, `no-cast`, `no-bare-f64`, `error-impl`).
+    pub rule: &'static str,
+    /// Enclosing function, when the violation sits inside one.
+    pub scope: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Numeric types a raw `as` cast may not target (or source) in
+/// unit-bearing modules.
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64",
+    "i128", "isize",
+];
+
+/// Identifier segments that count as naming a unit.
+const UNIT_SEGMENTS: &[&str] = &[
+    // power / energy
+    "mw", "w", "kw", "watts", "milliwatts", "pj", "nj", "uj", "mj", "j", "joules",
+    "picojoules", "nanojoules", "microjoules", "millijoules",
+    // time / frequency
+    "ns", "us", "ms", "s", "secs", "seconds", "nanos", "micros", "millis", "hz", "khz",
+    "mhz", "ghz", "fps",
+    // geometry
+    "nm", "um", "mm", "cm", "m", "meters", "um2", "mm2", "cm2",
+    // electrical / optical
+    "ma", "a", "amps", "mv", "v", "volts", "voltage", "db", "dbm",
+    // rates and composite units
+    "tops", "gops", "flops", "per", "x",
+    // misc dimensions
+    "years", "hours", "days", "bits", "bytes", "rad", "radians", "deg", "kelvin", "c", "k",
+    "percent", "pct",
+];
+
+/// Identifier segments that declare a value dimensionless on purpose.
+const DIMENSIONLESS_SEGMENTS: &[&str] = &[
+    "share", "ratio", "factor", "fraction", "frac", "gain", "amplitude", "transmission",
+    "transmittance", "probability", "prob", "efficiency", "utilization", "gaussian",
+    "uniform", "finesse", "fwhm", "q", "index", "idx", "count", "norm", "loss",
+    "sensitivity", "responsivity", "slope", "coupling", "contrast", "accuracy", "snr",
+    "sxr", "ber", "occupancy", "crystallinity", "reflectivity", "derivative", "threshold",
+    "speedup", "level", "weight", "scale",
+];
+
+/// Bare parameter names that clearly denote a physical quantity and so
+/// must arrive as a `photonics::units` newtype, not a raw `f64`.
+const QUANTITY_PARAM_NAMES: &[&str] = &[
+    "energy", "power", "time", "latency", "duration", "area", "current", "voltage",
+    "wavelength", "temperature", "frequency",
+];
+
+/// Is this repo-relative path a unit-bearing module?
+pub fn is_unit_bearing(rel: &str) -> bool {
+    let p = rel.replace('\\', "/");
+    p.starts_with("crates/photonics/src/")
+        || p.starts_with("crates/baselines/src/")
+        || matches!(
+            p.as_str(),
+            "crates/arch/src/power.rs"
+                | "crates/arch/src/perf.rs"
+                | "crates/arch/src/area.rs"
+                | "crates/arch/src/endurance.rs"
+        )
+}
+
+/// Run the per-file rules over one tokenized file.
+pub fn check_file(rel: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    no_panic(rel, tokens, &mut findings);
+    if is_unit_bearing(rel) {
+        no_cast(rel, tokens, &mut findings);
+        no_bare_f64(rel, tokens, &mut findings);
+    }
+    findings
+}
+
+fn no_panic(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(word) = t.word() else { continue };
+        let next_is = |c: char| tokens.get(i + 1).is_some_and(|n| n.is_punct(c));
+        let prev_is_dot = i > 0 && tokens[i - 1].is_punct('.');
+        match word {
+            "unwrap" | "expect" if prev_is_dot && next_is('(') => {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: "no-panic",
+                    scope: t.enclosing_fn.clone(),
+                    message: format!(
+                        "`.{word}()` in library code; propagate a typed error or use a total alternative"
+                    ),
+                });
+            }
+            "panic" | "todo" | "unimplemented" | "unreachable" if next_is('!') => {
+                findings.push(Finding {
+                    file: rel.to_string(),
+                    line: t.line,
+                    rule: "no-panic",
+                    scope: t.enclosing_fn.clone(),
+                    message: format!("`{word}!` in library code; return a typed error instead"),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn no_cast(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.word() != Some("as") {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1).and_then(Token::word) else { continue };
+        if NUMERIC_TYPES.contains(&next) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: t.line,
+                rule: "no-cast",
+                scope: t.enclosing_fn.clone(),
+                message: format!(
+                    "raw `as {next}` cast in a unit-bearing module; use `units::count`, `try_from`, or a units constructor"
+                ),
+            });
+        }
+    }
+}
+
+/// Does an identifier name its unit (or declare itself dimensionless)?
+fn names_unit(ident: &str) -> bool {
+    ident.split('_').any(|seg| {
+        let seg = seg.to_ascii_lowercase();
+        let trimmed = seg.strip_suffix('s').unwrap_or(&seg);
+        UNIT_SEGMENTS.contains(&seg.as_str())
+            || UNIT_SEGMENTS.contains(&trimmed)
+            || DIMENSIONLESS_SEGMENTS.contains(&seg.as_str())
+            || DIMENSIONLESS_SEGMENTS.contains(&trimmed)
+    })
+}
+
+fn no_bare_f64(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].in_test || tokens[i].word() != Some("pub") {
+            i += 1;
+            continue;
+        }
+        // pub / pub(crate) / pub(super) …
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct('(')) {
+            while j < tokens.len() && !tokens[j].is_punct(')') {
+                j += 1;
+            }
+            j += 1;
+        }
+        // Optional qualifiers before `fn`.
+        while tokens.get(j).and_then(Token::word).is_some_and(|w| {
+            matches!(w, "const" | "unsafe" | "async" | "extern")
+        }) {
+            j += 1;
+        }
+        if tokens.get(j).and_then(Token::word) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(j + 1).and_then(Token::word).map(str::to_string) else {
+            i += 1;
+            continue;
+        };
+        let line = tokens[j + 1].line;
+        // Find the parameter list.
+        let mut k = j + 2;
+        while k < tokens.len() && !tokens[k].is_punct('(') {
+            k += 1;
+        }
+        let params_start = k + 1;
+        let mut depth = 1;
+        k += 1;
+        while k < tokens.len() && depth > 0 {
+            if tokens[k].is_punct('(') {
+                depth += 1;
+            } else if tokens[k].is_punct(')') {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        let params_end = k.saturating_sub(1);
+
+        // Quantity-named bare-f64 parameters.
+        for p in params_start..params_end {
+            if tokens[p].is_punct(':')
+                && tokens.get(p + 1).and_then(Token::word) == Some("f64")
+            {
+                if let Some(pname) = tokens.get(p.wrapping_sub(1)).and_then(Token::word) {
+                    if QUANTITY_PARAM_NAMES.contains(&pname) {
+                        findings.push(Finding {
+                            file: rel.to_string(),
+                            line: tokens[p].line,
+                            rule: "no-bare-f64",
+                            scope: Some(name.clone()),
+                            message: format!(
+                                "parameter `{pname}: f64` of `pub fn {name}` is a bare quantity; take a `photonics::units` newtype"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Scalar f64 return without a unit in the function name.
+        if tokens.get(k).is_some_and(Token::is_arrow)
+            && tokens.get(k + 1).and_then(Token::word) == Some("f64")
+            && tokens
+                .get(k + 2)
+                .is_some_and(|t| t.is_punct('{') || t.is_punct(';') || t.word() == Some("where"))
+            && !names_unit(&name)
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line,
+                rule: "no-bare-f64",
+                scope: Some(name.clone()),
+                message: format!(
+                    "`pub fn {name}` returns a bare `f64`; name the unit in the identifier or return a `photonics::units` newtype"
+                ),
+            });
+        }
+        i = j + 2;
+    }
+}
+
+/// A `pub enum *Error` declaration found while scanning.
+#[derive(Debug, Clone)]
+pub struct ErrorEnum {
+    /// Repo-relative file.
+    pub file: String,
+    /// Declaration line.
+    pub line: usize,
+    /// The crate directory name (`crates/<name>`).
+    pub krate: String,
+    /// The enum identifier.
+    pub name: String,
+}
+
+/// A trait impl sighting: `impl … Display for X` / `impl … Error for X`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraitImpl {
+    /// The crate directory name.
+    pub krate: String,
+    /// `Display` or `Error`.
+    pub trait_name: String,
+    /// The implementing type.
+    pub type_name: String,
+}
+
+/// Collect public error enums and Display/Error impls from one file.
+pub fn collect_error_decls(
+    rel: &str,
+    krate: &str,
+    tokens: &[Token],
+    enums: &mut Vec<ErrorEnum>,
+    impls: &mut Vec<TraitImpl>,
+) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match t.word() {
+            Some("enum")
+                if i > 0
+                    && tokens[i - 1].word() == Some("pub")
+                    && tokens
+                        .get(i + 1)
+                        .and_then(Token::word)
+                        .is_some_and(|n| n.ends_with("Error")) =>
+            {
+                if let Some(name) = tokens.get(i + 1).and_then(Token::word) {
+                    enums.push(ErrorEnum {
+                        file: rel.to_string(),
+                        line: t.line,
+                        krate: krate.to_string(),
+                        name: name.to_string(),
+                    });
+                }
+            }
+            Some("impl") => {
+                // Scan a short window for `<trait tokens> for <Type>`.
+                let window = &tokens[i..tokens.len().min(i + 24)];
+                let Some(for_pos) = window.iter().position(|t| t.word() == Some("for")) else {
+                    continue;
+                };
+                let head: Vec<&str> =
+                    window[..for_pos].iter().filter_map(Token::word).collect();
+                let Some(type_name) = window.get(for_pos + 1).and_then(Token::word) else {
+                    continue;
+                };
+                for trait_name in ["Display", "Error"] {
+                    if head.contains(&trait_name) {
+                        impls.push(TraitImpl {
+                            krate: krate.to_string(),
+                            trait_name: trait_name.to_string(),
+                            type_name: type_name.to_string(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Cross-file rule: every public error enum implements `Display` and
+/// `std::error::Error` somewhere in its crate.
+pub fn check_error_impls(enums: &[ErrorEnum], impls: &[TraitImpl]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for e in enums {
+        for trait_name in ["Display", "Error"] {
+            let covered = impls.iter().any(|im| {
+                im.krate == e.krate && im.trait_name == trait_name && im.type_name == e.name
+            });
+            if !covered {
+                findings.push(Finding {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: "error-impl",
+                    scope: None,
+                    message: format!(
+                        "`pub enum {}` has no `{}` impl in crate `{}`",
+                        e.name,
+                        if trait_name == "Error" { "std::error::Error" } else { "Display" },
+                        e.krate
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{mask, tokenize};
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(&mask(src))
+    }
+
+    #[test]
+    fn unwrap_in_library_code_is_flagged() {
+        let f = check_file("crates/arch/src/engine.rs", &toks("fn f() { x.unwrap(); }"));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-panic");
+        assert_eq!(f[0].scope.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }";
+        assert!(check_file("crates/arch/src/engine.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { x.unwrap(); panic!(); } }";
+        assert!(check_file("crates/arch/src/engine.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_allowed() {
+        let src = "fn f() { assert!(x > 0); assert_eq!(a, b); debug_assert!(c); }";
+        assert!(check_file("crates/arch/src/engine.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn casts_flagged_only_in_unit_bearing_modules() {
+        let src = "fn f(n: usize) { let x = n as f64; }";
+        assert!(check_file("crates/workload/src/zoo.rs", &toks(src)).is_empty());
+        let f = check_file("crates/photonics/src/laser.rs", &toks(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-cast");
+    }
+
+    #[test]
+    fn as_import_rename_is_not_a_cast() {
+        let src = "use std::fmt as formatting;";
+        assert!(check_file("crates/photonics/src/laser.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn bare_f64_return_needs_a_unit_name() {
+        let bad = "pub fn energy(&self) -> f64 { 0.0 }";
+        let good = "pub fn energy_pj(&self) -> f64 { 0.0 }";
+        let dimless = "pub fn coupling_factor(&self) -> f64 { 0.0 }";
+        assert_eq!(check_file("crates/photonics/src/laser.rs", &toks(bad)).len(), 1);
+        assert!(check_file("crates/photonics/src/laser.rs", &toks(good)).is_empty());
+        assert!(check_file("crates/photonics/src/laser.rs", &toks(dimless)).is_empty());
+    }
+
+    #[test]
+    fn quantity_params_must_be_newtypes() {
+        let src = "pub fn charge(&mut self, energy: f64) {}";
+        let f = check_file("crates/photonics/src/ledger.rs", &toks(src));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("energy"));
+    }
+
+    #[test]
+    fn vec_and_tuple_returns_are_exempt() {
+        let src = "pub fn samples(&self) -> Vec<f64> { vec![] }\npub fn pair(&self) -> (f64, f64) { (0.0, 0.0) }";
+        assert!(check_file("crates/photonics/src/laser.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn error_enum_without_impls_is_flagged() {
+        let mut enums = Vec::new();
+        let mut impls = Vec::new();
+        collect_error_decls(
+            "crates/x/src/error.rs",
+            "x",
+            &toks("pub enum XError { A }"),
+            &mut enums,
+            &mut impls,
+        );
+        let f = check_error_impls(&enums, &impls);
+        assert_eq!(f.len(), 2, "missing Display and Error: {f:?}");
+    }
+
+    #[test]
+    fn error_enum_with_both_impls_is_clean() {
+        let src = "pub enum XError { A }\nimpl fmt::Display for XError { }\nimpl std::error::Error for XError { }";
+        let mut enums = Vec::new();
+        let mut impls = Vec::new();
+        collect_error_decls("crates/x/src/error.rs", "x", &toks(src), &mut enums, &mut impls);
+        assert!(check_error_impls(&enums, &impls).is_empty());
+    }
+}

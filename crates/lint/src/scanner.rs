@@ -1,0 +1,376 @@
+//! Hand-rolled Rust source scanner.
+//!
+//! Parsing a full Rust grammar is out of scope (and would drag in syn,
+//! which the offline build cannot have). The lint rules only need a
+//! token stream with three pieces of context per token:
+//!
+//! * the line it sits on,
+//! * whether it is inside a `#[cfg(test)]` item, and
+//! * the name of the enclosing `fn`, if any.
+//!
+//! The scanner gets there in two passes: [`mask`] blanks out comments,
+//! strings and char literals (preserving byte offsets and newlines so
+//! line numbers survive), and [`tokenize`] walks the masked text
+//! producing [`Token`]s annotated by a brace-depth walker.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Word(String),
+    /// Single punctuation character (`{`, `}`, `(`, `)`, `;`, `!`, …).
+    /// `->` and `::` are folded into single punct tokens `'>'`-prefixed
+    /// by convention: see [`Token::is_arrow`].
+    Punct(char),
+    /// The two-character arrow `->`.
+    Arrow,
+}
+
+/// One token with its surrounding context.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind and text.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+    /// True when the token sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Innermost enclosing function name, if the token is inside a body.
+    pub enclosing_fn: Option<String>,
+}
+
+impl Token {
+    /// The word text, if this is a word token.
+    pub fn word(&self) -> Option<&str> {
+        match self.kind {
+            TokenKind::Word(ref w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True when this token is the `->` arrow.
+    pub fn is_arrow(&self) -> bool {
+        self.kind == TokenKind::Arrow
+    }
+}
+
+/// Blank out comments, string literals and char literals with spaces,
+/// keeping newlines (and therefore line numbers and byte offsets) intact.
+pub fn mask(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = if i + 1 < bytes.len() { bytes[i + 1] } else { 0 };
+        if b == b'/' && next == b'/' {
+            // Line comment: blank to end of line.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+        } else if b == b'/' && next == b'*' {
+            // Block comment, possibly nested.
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        } else if b == b'r' && (next == b'"' || next == b'#') && is_raw_string_start(bytes, i) {
+            // Raw string r"..." or r#"..."# (any number of #).
+            let mut j = i + 1;
+            let mut hashes = 0;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            // bytes[j] == b'"' guaranteed by is_raw_string_start.
+            j += 1;
+            out.push(b' ');
+            out.extend(std::iter::repeat_n(b' ', hashes + 1));
+            while j < bytes.len() {
+                if bytes[j] == b'"' && closes_raw(bytes, j, hashes) {
+                    out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                    j += 1 + hashes;
+                    break;
+                }
+                out.push(if bytes[j] == b'\n' { b'\n' } else { b' ' });
+                j += 1;
+            }
+            i = j;
+        } else if b == b'"' {
+            // Regular string literal.
+            out.push(b' ');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+        } else if b == b'\'' {
+            // Char literal or lifetime. A char literal closes with ' within
+            // a couple of bytes; a lifetime never closes.
+            if let Some(end) = char_literal_end(bytes, i) {
+                for &bk in &bytes[i..=end] {
+                    out.push(if bk == b'\n' { b'\n' } else { b' ' });
+                }
+                i = end + 1;
+            } else {
+                out.push(b);
+                i += 1;
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    // At bytes[i] == 'r': true when followed by #*" .
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+fn closes_raw(bytes: &[u8], quote: usize, hashes: usize) -> bool {
+    bytes.len() > quote + hashes && bytes[quote + 1..=quote + hashes].iter().all(|&b| b == b'#')
+}
+
+fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
+    // bytes[start] == '\''; a char literal is '\'' (escape|byte+) '\'' and
+    // in practice closes within 12 bytes (covers \u{10FFFF}). Anything
+    // longer is a lifetime.
+    let mut j = start + 1;
+    if j < bytes.len() && bytes[j] == b'\\' {
+        j += 2; // skip the escape lead
+        while j < bytes.len() && bytes[j] != b'\'' && j - start < 12 {
+            j += 1;
+        }
+        return (j < bytes.len() && bytes[j] == b'\'').then_some(j);
+    }
+    // Unescaped: exactly one char (possibly multi-byte) then a quote.
+    let mut k = j;
+    while k < bytes.len() && k - j < 4 {
+        if bytes[k] == b'\'' {
+            return (k > j).then_some(k);
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Tokenize masked source, annotating each token with its line, test
+/// status and enclosing function.
+pub fn tokenize(masked: &str) -> Vec<Token> {
+    let mut raw: Vec<(TokenKind, usize)> = Vec::new();
+    let mut line = 1usize;
+    let bytes = masked.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let word = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+            raw.push((TokenKind::Word(word), line));
+        } else if b == b'-' && i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+            raw.push((TokenKind::Arrow, line));
+            i += 2;
+        } else if b.is_ascii_digit() {
+            // Numeric literal (including suffixed forms like 10f64 and
+            // float exponents): swallow it whole so the suffix never
+            // surfaces as a word token.
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'.'
+                    || ((bytes[i] == b'+' || bytes[i] == b'-')
+                        && matches!(bytes[i - 1], b'e' | b'E')))
+            {
+                // A second '.' (e.g. `1.0.sqrt()`) belongs to a method
+                // call, not the literal.
+                if bytes[i] == b'.'
+                    && (i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit())
+                {
+                    break;
+                }
+                i += 1;
+            }
+        } else {
+            raw.push((TokenKind::Punct(b as char), line));
+            i += 1;
+        }
+    }
+    annotate(raw)
+}
+
+/// The brace-depth walker: adds `in_test` and `enclosing_fn` context.
+fn annotate(raw: Vec<(TokenKind, usize)>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(raw.len());
+    let mut depth = 0usize;
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    // Depth outside the cfg(test) block, once armed fires on next `{`.
+    let mut test_exit_depth: Option<usize> = None;
+    let mut cfg_armed = false;
+
+    for idx in 0..raw.len() {
+        let (ref kind, line) = raw[idx];
+        out.push(Token {
+            kind: kind.clone(),
+            line,
+            in_test: test_exit_depth.is_some(),
+            enclosing_fn: fn_stack.last().map(|(n, _)| n.clone()),
+        });
+        match *kind {
+            TokenKind::Word(ref w) if w == "fn" => {
+                if let Some((TokenKind::Word(name), _)) = raw.get(idx + 1).cloned() {
+                    pending_fn = Some(name);
+                }
+            }
+            TokenKind::Punct('#')
+                if is_cfg_test_attr(&raw, idx) && test_exit_depth.is_none() =>
+            {
+                cfg_armed = true;
+            }
+            TokenKind::Punct('{') => {
+                if cfg_armed {
+                    test_exit_depth = Some(depth);
+                    cfg_armed = false;
+                }
+                depth += 1;
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+            }
+            TokenKind::Punct('}') => {
+                if fn_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    fn_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+                if test_exit_depth.is_some_and(|d| depth <= d) {
+                    test_exit_depth = None;
+                }
+            }
+            TokenKind::Punct(';') => {
+                // A bodyless declaration (trait method, extern fn).
+                pending_fn = None;
+                // cfg(test) on a bodyless item (`mod tests;`, `use …;`).
+                cfg_armed = false;
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Does the `#` at `raw[idx]` start a `#[cfg(test)]` attribute?
+fn is_cfg_test_attr(raw: &[(TokenKind, usize)], idx: usize) -> bool {
+    let want: [&str; 5] = ["[", "cfg", "(", "test", ")"];
+    want.iter().enumerate().all(|(off, w)| match raw.get(idx + 1 + off) {
+        Some((TokenKind::Word(t), _)) => t == w,
+        Some((TokenKind::Punct(c), _)) => {
+            w.len() == 1 && *c == w.chars().next().unwrap_or(' ')
+        }
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().filter_map(Token::word).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let src = "let x = \"unwrap()\"; // unwrap()\n/* unwrap() */ let y = 1;";
+        let m = mask(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let x"));
+        assert_eq!(src.matches('\n').count(), m.matches('\n').count());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let m = mask("let s = r#\"panic!\"#; let c = '\\n'; let l: &'static str = s;");
+        assert!(!m.contains("panic"));
+        assert!(m.contains("static"), "lifetimes must survive: {m}");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "fn a() { b.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { c.unwrap(); } }";
+        let toks = tokenize(&mask(src));
+        let unwraps: Vec<_> =
+            toks.iter().filter(|t| t.word() == Some("unwrap")).collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+    }
+
+    #[test]
+    fn enclosing_fn_is_tracked() {
+        let src = "impl X { fn first(&self) { a(); } fn second() { b(); } }";
+        let toks = tokenize(&mask(src));
+        let a = toks.iter().find(|t| t.word() == Some("a")).map(|t| t.enclosing_fn.clone());
+        let b = toks.iter().find(|t| t.word() == Some("b")).map(|t| t.enclosing_fn.clone());
+        assert_eq!(a, Some(Some("first".into())));
+        assert_eq!(b, Some(Some("second".into())));
+    }
+
+    #[test]
+    fn numeric_suffixes_do_not_leak_words() {
+        let toks = tokenize(&mask("let x = 10f64.powf(2.0); let y = 1_000u64;"));
+        assert!(!words(&toks).contains(&"f64"), "suffix leaked: {:?}", words(&toks));
+        assert!(words(&toks).contains(&"powf"));
+    }
+
+    #[test]
+    fn arrow_is_one_token() {
+        let toks = tokenize(&mask("fn f() -> f64 { 0.0 }"));
+        assert!(toks.iter().any(Token::is_arrow));
+    }
+}

@@ -1,0 +1,35 @@
+//! Clean fixture: unit-named signatures, no panics, impls complete.
+
+use std::fmt;
+
+pub struct Meter {
+    readings: Vec<f64>,
+}
+
+impl Meter {
+    /// Unit named in the identifier.
+    pub fn energy_pj(&self) -> f64 {
+        self.readings.iter().sum()
+    }
+
+    /// Total alternative instead of unwrap.
+    pub fn last_reading_pj(&self) -> f64 {
+        self.readings.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// A well-behaved error enum.
+#[derive(Debug)]
+pub enum MeterError {
+    Empty,
+}
+
+impl fmt::Display for MeterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "no readings recorded"),
+        }
+    }
+}
+
+impl std::error::Error for MeterError {}

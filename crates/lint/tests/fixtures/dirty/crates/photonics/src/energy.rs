@@ -1,0 +1,38 @@
+//! Seeded-negative fixture: every rule should fire on this file.
+
+pub struct Meter {
+    readings: Vec<f64>,
+}
+
+impl Meter {
+    /// A bare-f64 energy function: no unit in the name, raw f64 out.
+    pub fn energy(&self) -> f64 {
+        self.readings.iter().sum()
+    }
+
+    /// An unwrap in library code.
+    pub fn last_reading_pj(&self) -> f64 {
+        *self.readings.last().unwrap()
+    }
+
+    /// A raw numeric cast in a unit-bearing module.
+    pub fn mean_pj(&self) -> f64 {
+        self.energy() / self.readings.len() as f64
+    }
+}
+
+/// An error enum without Display or std::error::Error.
+pub enum MeterError {
+    Empty,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap() {
+        let m = Meter { readings: vec![1.0] };
+        assert!(m.readings.first().unwrap() > &0.0);
+    }
+}

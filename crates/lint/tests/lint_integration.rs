@@ -1,0 +1,119 @@
+//! End-to-end tests: the library API over fixture trees, and the
+//! compiled `trident-lint` binary's exit codes and JSON output.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn repo_root() -> PathBuf {
+    // crates/lint → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn dirty_fixture_reports_every_rule() {
+    let report = trident_lint::run(&fixture("dirty"), &[]).unwrap();
+    let rules: Vec<&str> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(rules.contains(&"no-panic"), "unwrap must be caught: {rules:?}");
+    assert!(rules.contains(&"no-bare-f64"), "bare-f64 energy fn must be caught: {rules:?}");
+    assert!(rules.contains(&"no-cast"), "as-cast must be caught: {rules:?}");
+    assert!(rules.contains(&"error-impl"), "impl-less error enum must be caught: {rules:?}");
+    // The unwrap inside #[cfg(test)] must NOT be caught.
+    let test_hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.scope.as_deref() == Some("test_code_may_unwrap"))
+        .collect();
+    assert!(test_hits.is_empty(), "test code is exempt: {test_hits:?}");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = trident_lint::run(&fixture("clean"), &[]).unwrap();
+    assert!(report.is_clean(), "unexpected findings: {:?}", report.findings);
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale() {
+    let allow = trident_lint::allowlist::parse(
+        r#"
+[[allow]]
+file = "crates/photonics/src/energy.rs"
+rules = ["no-panic", "no-cast", "no-bare-f64", "error-impl"]
+reason = "fixture"
+
+[[allow]]
+file = "crates/photonics/src/nonexistent.rs"
+rules = ["no-panic"]
+reason = "stale"
+"#,
+    )
+    .unwrap();
+    let report = trident_lint::run(&fixture("dirty"), &allow).unwrap();
+    assert!(report.is_clean());
+    assert!(!report.allowed.is_empty());
+    assert_eq!(report.stale_allows.len(), 1);
+    assert_eq!(report.stale_allows[0].file, "crates/photonics/src/nonexistent.rs");
+}
+
+#[test]
+fn binary_exits_nonzero_on_dirty_fixture_and_reports_both_seeds() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trident-lint"))
+        .args(["--root"])
+        .arg(fixture("dirty"))
+        .args(["--format", "json", "--allowlist", "/dev/null"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "dirty tree must exit 1");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("no-panic"), "unwrap finding missing from JSON: {json}");
+    assert!(json.contains("no-bare-f64"), "bare-f64 finding missing from JSON: {json}");
+    assert!(json.contains("\"scope\": \"last_reading_pj\""), "scope missing: {json}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_fixture() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trident-lint"))
+        .args(["--root"])
+        .arg(fixture("clean"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+}
+
+#[test]
+fn binary_rejects_bad_usage_with_exit_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_trident-lint"))
+        .args(["--format", "yaml"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn the_repo_itself_is_clean_under_its_allowlist() {
+    let root = repo_root();
+    let allow = trident_lint::load_allowlist(&root).expect("allowlist parses");
+    assert!(
+        allow.len() <= 10,
+        "allowlist budget is 10 entries, found {}",
+        allow.len()
+    );
+    let report = trident_lint::run(&root, &allow).expect("scan runs");
+    assert!(
+        report.is_clean(),
+        "repo has non-allowlisted findings:\n{}",
+        report.to_text()
+    );
+    assert!(
+        report.stale_allows.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.stale_allows
+    );
+}

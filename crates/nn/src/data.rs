@@ -119,7 +119,7 @@ fn render_glyph(d: usize, dx: i32, dy: i32) -> [f32; 64] {
             let sx = x - dx;
             if (0..8).contains(&sy) && (0..8).contains(&sx) {
                 let bit = (GLYPHS[d][sy as usize] >> (7 - sx)) & 1;
-                img[(y * 8 + x) as usize] = bit as f32;
+                img[(y * 8 + x) as usize] = f32::from(bit);
             }
         }
     }

@@ -27,6 +27,7 @@
 // row/column math in the comments better than iterator adaptors.
 #![allow(clippy::needless_range_loop)]
 #![deny(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless))]
 
 pub mod data;
 pub mod error;

@@ -108,7 +108,7 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f64 {
             hits += 1;
         }
     }
-    hits as f64 / labels.len() as f64
+    f64::from(hits) / labels.len() as f64
 }
 
 #[cfg(test)]

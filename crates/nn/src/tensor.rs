@@ -206,9 +206,9 @@ impl Tensor {
         self.data
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .unwrap()
+            .unwrap_or(0)
     }
 
     /// Sum of all elements.

@@ -58,14 +58,14 @@ impl Default for GstParameters {
 impl GstParameters {
     /// Bit resolution implied by the level count.
     pub fn bits(&self) -> u8 {
-        (self.levels as f64 + 1.0).log2().round() as u8
+        (f64::from(self.levels) + 1.0).log2().round() as u8
     }
 
     /// Fractional crystallinity drift accumulated over one rated
     /// retention period: half an LSB of the level grid, so a stored state
     /// remains distinguishable for exactly the rated lifetime.
     pub fn drift_per_decade(&self) -> f64 {
-        0.5 / (self.levels - 1) as f64
+        0.5 / f64::from(self.levels - 1)
     }
 
     /// Amplitude transmission at crystallinity `c ∈ [0, 1]`.
@@ -243,7 +243,7 @@ impl GstCell {
         if level >= self.params.levels {
             return Err(PcmError::LevelOutOfRange { level, levels: self.params.levels });
         }
-        let crystallinity = level as f64 / (self.params.levels - 1) as f64;
+        let crystallinity = f64::from(level) / f64::from(self.params.levels - 1);
         self.try_write(level, crystallinity)
     }
 
@@ -417,7 +417,7 @@ impl GstCell {
             (0.0..=1.0).contains(&crystallinity),
             "crystallinity {crystallinity} outside [0, 1]"
         );
-        let level = (crystallinity * (self.params.levels - 1) as f64).round() as u16;
+        let level = (crystallinity * f64::from(self.params.levels - 1)).round() as u16;
         self.program(level)
     }
 
@@ -473,7 +473,7 @@ impl GstCell {
     pub fn projected_drift_lsb(&self, years: f64) -> f64 {
         let mut aged = self.clone();
         aged.age(years);
-        (aged.crystallinity() - self.crystallinity()).abs() * (self.params.levels - 1) as f64
+        (aged.crystallinity() - self.crystallinity()).abs() * f64::from(self.params.levels - 1)
     }
 }
 

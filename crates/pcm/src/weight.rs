@@ -127,14 +127,10 @@ impl WeightLut {
         // partition_point: first index whose raw value is <= target
         // (values are decreasing).
         let idx = v.partition_point(|&raw| raw > target);
-        let candidates = [idx.saturating_sub(1), idx.min(v.len() - 1)];
-        let best = candidates
-            .into_iter()
-            .min_by(|&a, &b| {
-                (v[a] - target).abs().partial_cmp(&(v[b] - target).abs()).unwrap()
-            })
-            .unwrap();
-        best as u16
+        let lo = idx.saturating_sub(1);
+        let hi = idx.min(v.len() - 1);
+        let best = if (v[lo] - target).abs() <= (v[hi] - target).abs() { lo } else { hi };
+        u16::try_from(best).unwrap_or(u16::MAX)
     }
 
     /// Fallible form of [`WeightLut::level_for`].

@@ -13,6 +13,7 @@
 //! and an explicit operating-point model rather than asserting them.
 
 use crate::mrr::AddDropMrr;
+use crate::units::index_clamped;
 use crate::wdm::WdmGrid;
 use serde::{Deserialize, Serialize};
 
@@ -128,8 +129,10 @@ fn ratio_to_bits(ratio: f64) -> u8 {
     }
     // The crosstalk floor acts as a full-scale-relative error on the analog
     // weight: distinguishable levels = 1/ratio.
-    let bits = (1.0 / ratio).log2().floor() as i64;
-    bits.clamp(1, 16) as u8
+    let bits = (1.0 / ratio).log2().floor().clamp(1.0, 16.0);
+    // The clamp above plus the units module's total float→index conversion
+    // make the narrowing total.
+    u8::try_from(index_clamped(bits, 16)).unwrap_or(16)
 }
 
 /// Effective usable bit resolution of a weight bank: the crosstalk limit

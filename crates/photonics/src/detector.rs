@@ -62,18 +62,18 @@ impl BalancedPhotodetector {
     /// Differential current for two WDM rails, summing channels optically
     /// on each diode (incoherent power addition — each channel is a
     /// distinct wavelength).
-    pub fn detect(&self, drop_rail: &WdmSignal, through_rail: &WdmSignal) -> f64 {
+    pub fn detect_ma(&self, drop_rail: &WdmSignal, through_rail: &WdmSignal) -> f64 {
         self.differential_ma(drop_rail.total_power(), through_rail.total_power())
     }
 
     /// Differential current with additive noise drawn from `noise`.
-    pub fn detect_noisy(
+    pub fn detect_noisy_ma(
         &self,
         drop_rail: &WdmSignal,
         through_rail: &WdmSignal,
         noise: &mut NoiseModel,
     ) -> f64 {
-        let ideal = self.detect(drop_rail, through_rail);
+        let ideal = self.detect_ma(drop_rail, through_rail);
         let total_power = drop_rail.total_power() + through_rail.total_power();
         ideal + noise.receiver_current_noise_ma(total_power)
     }
@@ -111,7 +111,7 @@ impl Default for TransimpedanceAmplifier {
 impl TransimpedanceAmplifier {
     /// Output voltage (volts) for an input current in mA.
     #[inline]
-    pub fn amplify(&self, current_ma: f64) -> f64 {
+    pub fn amplify_v(&self, current_ma: f64) -> f64 {
         current_ma * self.transimpedance_kohm * self.programmable_gain
     }
 
@@ -152,18 +152,18 @@ mod tests {
         let bpd = BalancedPhotodetector::default();
         let drop = WdmSignal::from_powers(vec![PowerMw(1.0), PowerMw(2.0)]);
         let through = WdmSignal::from_powers(vec![PowerMw(0.5), PowerMw(0.5)]);
-        let i = bpd.detect(&drop, &through);
+        let i = bpd.detect_ma(&drop, &through);
         assert!((i - 2.0).abs() < 1e-9, "3.0 − 1.0 = 2.0 mA at 1 A/W, got {i}");
     }
 
     #[test]
     fn tia_gain_programs_hadamard() {
         let mut tia = TransimpedanceAmplifier::default();
-        let full = tia.amplify(1.0);
+        let full = tia.amplify_v(1.0);
         tia.set_gain(0.34);
-        assert!((tia.amplify(1.0) - 0.34 * full).abs() < 1e-9);
+        assert!((tia.amplify_v(1.0) - 0.34 * full).abs() < 1e-9);
         tia.set_gain(0.0);
-        assert_eq!(tia.amplify(123.0), 0.0);
+        assert_eq!(tia.amplify_v(123.0), 0.0);
     }
 
     #[test]
@@ -178,10 +178,10 @@ mod tests {
         let mut noise = NoiseModel::seeded(7);
         let drop = WdmSignal::from_powers(vec![PowerMw(1.0)]);
         let through = WdmSignal::from_powers(vec![PowerMw(0.2)]);
-        let ideal = bpd.detect(&drop, &through);
+        let ideal = bpd.detect_ma(&drop, &through);
         let mut worst: f64 = 0.0;
         for _ in 0..200 {
-            let noisy = bpd.detect_noisy(&drop, &through, &mut noise);
+            let noisy = bpd.detect_noisy_ma(&drop, &through, &mut noise);
             worst = worst.max((noisy - ideal).abs());
         }
         // Receiver noise is far below the signal at mW powers.

@@ -96,7 +96,7 @@ impl EoModulator {
 
     /// Energy to encode one full vector (one symbol per active channel).
     pub fn encode_energy(&self, active_channels: usize) -> EnergyPj {
-        self.energy_per_symbol * active_channels as f64
+        self.energy_per_symbol * active_channels
     }
 
     /// Total electrical power of the laser bank when all channels idle on.

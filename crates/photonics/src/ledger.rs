@@ -67,7 +67,7 @@ macro_rules! ledger {
             /// Line items sorted by contribution, largest first.
             pub fn ranked(&self) -> Vec<(&str, $unit)> {
                 let mut v: Vec<_> = self.iter().collect();
-                v.sort_by(|a, b| b.1.value().partial_cmp(&a.1.value()).unwrap());
+                v.sort_by(|a, b| b.1.value().total_cmp(&a.1.value()));
                 v
             }
 

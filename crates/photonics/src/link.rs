@@ -74,7 +74,7 @@ impl LinkBudget {
         let after_split = self.laser_power * self.splitter.per_branch_transmission();
         let after_routing = after_split * self.routing.transmission();
         let detected = after_routing * self.bank_transmission;
-        let full_scale = detected * self.channels as f64;
+        let full_scale = detected * self.channels;
         let photocurrent_ma = self.detector.photocurrent_ma(full_scale);
         let shot = noise.shot_noise_rms_ma(full_scale);
         let thermal = noise.thermal_noise_rms_ma();

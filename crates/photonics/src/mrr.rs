@@ -114,7 +114,7 @@ pub struct PortTransfer {
 impl PortTransfer {
     /// Fraction of power absorbed in the ring.
     #[inline]
-    pub fn absorbed(&self) -> f64 {
+    pub fn absorbed_fraction(&self) -> f64 {
         (1.0 - self.through - self.drop).max(0.0)
     }
 }
@@ -161,7 +161,7 @@ impl AddDropMrr {
     /// Round-trip phase detuning for wavelength `λ`, in radians.
     ///
     /// Zero exactly on resonance; periodic across the FSR.
-    pub fn phase_detuning(&self, lambda: Wavelength) -> f64 {
+    pub fn phase_detuning_rad(&self, lambda: Wavelength) -> f64 {
         2.0 * std::f64::consts::PI * self.resonance.detuning_nm(lambda) / self.fsr_nm()
     }
 
@@ -181,7 +181,7 @@ impl AddDropMrr {
         let t = self.geometry.self_coupling;
         let a = self.round_trip_amplitude(extra_amplitude);
         let kappa_sq = 1.0 - t * t;
-        let phi = self.phase_detuning(lambda);
+        let phi = self.phase_detuning_rad(lambda);
         let s = (phi / 2.0).sin();
         let resonant_term = 4.0 * t * t * a * s * s;
         let denom = {
@@ -243,7 +243,7 @@ mod tests {
         // Moderate intra-cavity loss dissipates a visible fraction in the
         // ring; at heavy loss the light mostly never couples in at all.
         let moderate = r.transfer_on_resonance(0.9);
-        assert!(moderate.absorbed() > 0.1, "absorbed {}", moderate.absorbed());
+        assert!(moderate.absorbed_fraction() > 0.1, "absorbed {}", moderate.absorbed_fraction());
     }
 
     #[test]

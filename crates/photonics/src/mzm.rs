@@ -51,7 +51,7 @@ impl MachZehnder {
     /// Drive voltage that produces a target transmission fraction
     /// `t ∈ [0, 1]` of the maximum (inverse of [`Self::transmission`]
     /// without the loss factor).
-    pub fn drive_for(&self, t: f64) -> f64 {
+    pub fn drive_voltage_for(&self, t: f64) -> f64 {
         assert!((0.0..=1.0).contains(&t), "target transmission {t} outside [0, 1]");
         2.0 * self.v_pi / std::f64::consts::PI * t.sqrt().acos()
     }
@@ -97,7 +97,7 @@ mod tests {
     fn drive_for_inverts_transmission() {
         let m = MachZehnder::default();
         for target in [1.0, 0.75, 0.5, 0.25, 0.01] {
-            let v = m.drive_for(target);
+            let v = m.drive_voltage_for(target);
             let achieved = m.transmission(v) / m.insertion_loss_factor();
             assert!(
                 (achieved - target).abs() < 1e-9,

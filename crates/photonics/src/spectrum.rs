@@ -6,7 +6,7 @@
 //! plotting resonance combs, extinction ratios, and free spectral ranges.
 
 use crate::mrr::AddDropMrr;
-use crate::units::Wavelength;
+use crate::units::{count, Wavelength};
 use serde::{Deserialize, Serialize};
 
 /// One sampled spectrum point.
@@ -33,7 +33,7 @@ pub fn sweep(
     assert!(stop_nm > start_nm, "stop must exceed start");
     (0..samples)
         .map(|i| {
-            let nm = start_nm + (stop_nm - start_nm) * i as f64 / (samples - 1) as f64;
+            let nm = start_nm + (stop_nm - start_nm) * count(i) / count(samples - 1);
             let t = ring.transfer(Wavelength::from_nm(nm), intra_cavity_amplitude);
             SpectrumPoint { wavelength_nm: nm, through: t.through, drop: t.drop }
         })

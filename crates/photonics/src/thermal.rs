@@ -9,6 +9,7 @@
 //! weight error a bank suffers, which is where the
 //! `BankOperatingPoint::thermal().tuner_crosstalk` figure comes from.
 
+use crate::units::count;
 use serde::{Deserialize, Serialize};
 
 /// A row of thermal tuners with nearest-region coupling.
@@ -53,7 +54,7 @@ impl ThermalTunerArray {
                         1.0
                     } else {
                         self.neighbour_coupling
-                            * self.decay_per_ring.powi(distance as i32 - 1)
+                            * self.decay_per_ring.powf(count(distance) - 1.0)
                     };
                     shift += d * self.full_scale_shift_nm * coupling;
                 }

@@ -123,6 +123,38 @@ macro_rules! scalar_unit {
             }
         }
 
+        impl Mul<usize> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: usize) -> Self {
+                Self(self.0 * count(rhs))
+            }
+        }
+
+        impl Mul<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: u64) -> Self {
+                Self(self.0 * count(rhs))
+            }
+        }
+
+        impl Div<usize> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: usize) -> Self {
+                Self(self.0 / count(rhs))
+            }
+        }
+
+        impl Div<u64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: u64) -> Self {
+                Self(self.0 / count(rhs))
+            }
+        }
+
         impl Sum for $name {
             fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
                 iter.fold(Self::ZERO, Add::add)
@@ -165,6 +197,59 @@ scalar_unit!(
     "um^2"
 );
 
+scalar_unit!(
+    /// Event rate / frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+/// Device or event counts entering the energy/latency arithmetic.
+///
+/// The performance model multiplies per-device quantities by integer
+/// populations (MRRs per PE, vectors per tile, cache accesses). [`count`]
+/// is the single sanctioned integer→`f64` conversion — everywhere else a
+/// raw `as` cast is a lint error (`trident-lint` rule `no-cast`), so lossy
+/// narrowing can never hide inside the unit roll-ups. All implementors are
+/// exact in `f64` up to 2⁵³ events, far beyond any simulated population.
+pub trait CountValue: Copy {
+    /// The count as an `f64` multiplier.
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! count_value {
+    ($($int:ty),*) => {
+        $(impl CountValue for $int {
+            // The sanctioned integer→f64 boundary; `From` does not cover
+            // u64/usize/i64, so the macro keeps one uniform `as` here.
+            #[allow(clippy::cast_lossless)]
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        })*
+    };
+}
+
+count_value!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Convert an integer population to the `f64` multiplier the quantity
+/// arithmetic uses. See [`CountValue`].
+#[inline]
+pub fn count<N: CountValue>(n: N) -> f64 {
+    n.to_f64()
+}
+
+/// Total float→index conversion for grid lookups: rounds, clamps into
+/// `0..=max`, and maps NaN to 0 — the one place a float is allowed to
+/// become an index without an `as` cast at the call site.
+#[inline]
+pub fn index_clamped(x: f64, max: usize) -> usize {
+    if x.is_nan() {
+        return 0;
+    }
+    x.round().clamp(0.0, count(max)) as usize
+}
+
 impl PowerMw {
     /// Construct from watts.
     #[inline]
@@ -193,11 +278,59 @@ impl PowerMw {
     }
 }
 
+impl Hertz {
+    /// Construct from gigahertz.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Construct from megahertz.
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Convert to gigahertz.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Period of one cycle (`1/f`).
+    ///
+    /// Returns `f64::INFINITY` nanoseconds for a zero rate.
+    #[inline]
+    pub fn period(self) -> Nanoseconds {
+        Nanoseconds(1e9 / self.0)
+    }
+}
+
 impl EnergyPj {
+    /// Construct from picojoules (explicit-name twin of the tuple
+    /// constructor, for call sites that read better with the unit spelled
+    /// out).
+    #[inline]
+    pub fn from_pj(pj: f64) -> Self {
+        Self(pj)
+    }
+
     /// Construct from nanojoules.
     #[inline]
     pub fn from_nj(nj: f64) -> Self {
         Self(nj * 1e3)
+    }
+
+    /// Construct from millijoules.
+    #[inline]
+    pub fn from_mj(mj: f64) -> Self {
+        Self(mj * 1e9)
+    }
+
+    /// Convert to millijoules.
+    #[inline]
+    pub fn millijoules(self) -> f64 {
+        self.0 * 1e-9
     }
 
     /// Convert to nanojoules.
@@ -232,6 +365,12 @@ impl Nanoseconds {
         Self(us * 1e3)
     }
 
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Self(ms * 1e6)
+    }
+
     /// Construct from seconds.
     #[inline]
     pub fn from_secs(s: f64) -> Self {
@@ -262,6 +401,12 @@ impl Nanoseconds {
     #[inline]
     pub fn rate_hz(self) -> f64 {
         1e9 / self.0
+    }
+
+    /// Events per second as a typed rate (`1/t`).
+    #[inline]
+    pub fn rate(self) -> Hertz {
+        Hertz(self.rate_hz())
     }
 }
 
@@ -413,5 +558,33 @@ mod tests {
     fn display_formats_with_units() {
         assert_eq!(format!("{:.1}", PowerMw(2.25)), "2.2 mW");
         assert_eq!(format!("{}", Wavelength::from_nm(1550.0)), "1550.00 nm");
+    }
+
+    #[test]
+    fn hertz_round_trips_and_period() {
+        let f = Hertz::from_ghz(1.37);
+        assert!((f.ghz() - 1.37).abs() < 1e-12);
+        assert!((f.period().value() - 1.0 / 1.37).abs() < 1e-12);
+        assert!((Nanoseconds(2.889).rate().value() - Nanoseconds(2.889).rate_hz()).abs() < 1e-6);
+        assert!((Hertz::from_mhz(500.0).value() - 5e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn integer_counts_multiply_exactly() {
+        assert_eq!(EnergyPj(20.0) * 256usize, EnergyPj(5120.0));
+        assert_eq!(PowerMw(2.2) * 256u64, PowerMw(2.2 * 256.0));
+        assert_eq!(EnergyPj(5120.0) / 256usize, EnergyPj(20.0));
+        assert_eq!(Nanoseconds(300.0) / 4u64, Nanoseconds(75.0));
+        assert_eq!(count(44usize), 44.0);
+        assert_eq!(count(u64::from(u32::MAX)), 4294967295.0);
+    }
+
+    #[test]
+    fn millijoule_and_picojoule_constructors() {
+        assert_eq!(EnergyPj::from_pj(660.0), EnergyPj(660.0));
+        let e = EnergyPj::from_mj(1.5);
+        assert!((e.millijoules() - 1.5).abs() < 1e-12);
+        assert!((e.joules() - 1.5e-3).abs() < 1e-15);
+        assert!((Nanoseconds::from_ms(2.0).millis() - 2.0).abs() < 1e-12);
     }
 }

@@ -6,7 +6,7 @@
 //! GST tuning and the nanosecond-scale modulation events. This module makes
 //! that claim checkable instead of asserted.
 
-use crate::units::Nanoseconds;
+use crate::units::{count, Nanoseconds};
 use crate::wdm::WdmSignal;
 use serde::{Deserialize, Serialize};
 
@@ -65,9 +65,9 @@ impl Splitter {
 
     /// Per-branch power transmission including excess loss.
     pub fn per_branch_transmission(&self) -> f64 {
-        let stages = (self.branches as f64).log2().ceil().max(0.0);
+        let stages = count(self.branches).log2().ceil().max(0.0);
         let excess = 10f64.powf(-self.excess_loss_db * stages / 10.0);
-        excess / self.branches as f64
+        excess / count(self.branches)
     }
 
     /// Split a signal into `branches` identical attenuated copies.

@@ -5,7 +5,7 @@
 //! plan (anchor wavelength + spacing); a [`WdmSignal`] is the vector of
 //! per-channel optical powers travelling on one waveguide.
 
-use crate::units::{PowerMw, Wavelength};
+use crate::units::{count, index_clamped, PowerMw, Wavelength};
 use crate::MIN_CHANNEL_SPACING_NM;
 use serde::{Deserialize, Serialize};
 
@@ -64,7 +64,7 @@ impl WdmGrid {
     #[inline]
     pub fn channel(&self, idx: usize) -> Wavelength {
         assert!(idx < self.count, "channel {idx} out of range ({} channels)", self.count);
-        self.anchor.shifted_nm(self.spacing_nm * idx as f64)
+        self.anchor.shifted_nm(self.spacing_nm * count(idx))
     }
 
     /// Iterator over all channel wavelengths.
@@ -75,13 +75,13 @@ impl WdmGrid {
     /// Index of the grid channel nearest to `λ`, with its detuning in nm.
     pub fn nearest_channel(&self, lambda: Wavelength) -> (usize, f64) {
         let raw = (lambda.nm() - self.anchor.nm()) / self.spacing_nm;
-        let idx = raw.round().clamp(0.0, (self.count - 1) as f64) as usize;
+        let idx = index_clamped(raw, self.count - 1);
         (idx, lambda.detuning_nm(self.channel(idx)))
     }
 
     /// Total optical band occupied by the plan, in nanometres.
     pub fn band_nm(&self) -> f64 {
-        self.spacing_nm * (self.count.saturating_sub(1)) as f64
+        self.spacing_nm * count(self.count.saturating_sub(1))
     }
 }
 

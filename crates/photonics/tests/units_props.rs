@@ -1,0 +1,94 @@
+//! Property tests for the `photonics::units` newtype arithmetic
+//! (ISSUE satellite c): summation is bitwise-identical to raw `f64`
+//! folds, cross-unit multiply/divide obeys mW × ns = pJ exactly, and
+//! the pJ↔J / ns↔s scale conversions round-trip within 1 ulp.
+
+use trident_photonics::units::{EnergyPj, Nanoseconds, PowerMw};
+use proptest::prelude::*;
+
+/// Distance in units-in-the-last-place between two finite f64 of the
+/// same sign (0 means bitwise equal).
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    let (ia, ib) = (a.to_bits() as i64, b.to_bits() as i64);
+    ia.abs_diff(ib)
+}
+
+proptest! {
+    #[test]
+    fn sum_is_bitwise_identical_to_raw_fold(xs in proptest::collection::vec(-1e6f64..1e6, 0..32)) {
+        let typed: EnergyPj = xs.iter().map(|&x| EnergyPj(x)).sum();
+        let raw = xs.iter().fold(0.0f64, |acc, &x| acc + x);
+        prop_assert_eq!(typed.value().to_bits(), raw.to_bits());
+    }
+
+    #[test]
+    fn power_times_duration_is_exact_product(p in 0.0f64..1e4, t in 0.0f64..1e6) {
+        // 1 mW × 1 ns = 1 pJ, so the typed product is the single f64
+        // multiply — no hidden scale factor to round through.
+        let e = PowerMw(p).for_duration(Nanoseconds(t));
+        prop_assert_eq!(e.value().to_bits(), (p * t).to_bits());
+    }
+
+    #[test]
+    fn energy_over_duration_is_exact_quotient(e in 0.0f64..1e9, t in 1e-3f64..1e6) {
+        let p = EnergyPj(e).over_duration(Nanoseconds(t));
+        prop_assert_eq!(p.value().to_bits(), (e / t).to_bits());
+    }
+
+    #[test]
+    fn energy_time_power_cycle_within_one_ulp(p in 1e-6f64..1e4, t in 1e-3f64..1e6) {
+        // mW → pJ → mW through the same duration: one multiply and one
+        // divide, each correctly rounded.
+        let back = PowerMw(p).for_duration(Nanoseconds(t)).over_duration(Nanoseconds(t));
+        prop_assert!(
+            ulp_distance(back.value(), p) <= 1,
+            "p={p} t={t} back={}", back.value()
+        );
+    }
+
+    #[test]
+    fn pj_joule_round_trip_within_one_ulp(pj in 1e-6f64..1e15) {
+        let back = EnergyPj::from_joules(EnergyPj(pj).joules());
+        prop_assert!(
+            ulp_distance(back.value(), pj) <= 1,
+            "pj={pj} back={}", back.value()
+        );
+    }
+
+    #[test]
+    fn joule_pj_round_trip_within_one_ulp(j in 1e-15f64..1e3) {
+        let back = EnergyPj::from_joules(j).joules();
+        prop_assert!(ulp_distance(back, j) <= 1, "j={j} back={back}");
+    }
+
+    #[test]
+    fn ns_second_round_trip_within_one_ulp(ns in 1e-3f64..1e12) {
+        let back = Nanoseconds::from_secs(Nanoseconds(ns).secs());
+        prop_assert!(
+            ulp_distance(back.value(), ns) <= 1,
+            "ns={ns} back={}", back.value()
+        );
+    }
+
+    #[test]
+    fn second_ns_round_trip_within_one_ulp(s in 1e-9f64..1e3) {
+        let back = Nanoseconds::from_secs(s).secs();
+        prop_assert!(ulp_distance(back, s) <= 1, "s={s} back={back}");
+    }
+
+    #[test]
+    fn millijoule_round_trip_within_one_ulp(mj in 1e-9f64..1e6) {
+        let back = EnergyPj::from_mj(mj).millijoules();
+        prop_assert!(ulp_distance(back, mj) <= 1, "mj={mj} back={back}");
+    }
+
+    #[test]
+    fn rate_period_round_trip_within_one_ulp(ns in 1e-3f64..1e9) {
+        // t → 1/t → 1/(1/t): two correctly-rounded divides.
+        let back = Nanoseconds(ns).rate().period();
+        prop_assert!(
+            ulp_distance(back.value(), ns) <= 1,
+            "ns={ns} back={}", back.value()
+        );
+    }
+}

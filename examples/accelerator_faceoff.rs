@@ -6,6 +6,8 @@
 //! cargo run --release --example accelerator_faceoff
 //! ```
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::baselines::electronic::all_electronic;
 use trident::baselines::photonic::all_photonic;
 use trident::baselines::traits::AcceleratorModel;

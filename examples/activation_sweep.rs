@@ -7,6 +7,8 @@
 //! cargo run --release --example activation_sweep
 //! ```
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::pcm::activation::{fig3_curve, ActivationCellParams};
 use trident::pcm::gst::GstParameters;
 use trident::pcm::weight::WeightLut;

@@ -9,6 +9,8 @@
 //! `model` (optional): one of `alexnet`, `vgg16`, `googlenet`,
 //! `mobilenetv2`, `resnet50` to drill into; default prints the summary.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::baselines::electronic::all_electronic;
 use trident::baselines::photonic::{all_photonic, trident_photonic};
 use trident::baselines::traits::AcceleratorModel;

@@ -8,6 +8,8 @@
 //! cargo run --release --example insitu_training [per_class] [epochs]
 //! ```
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::arch::engine::PhotonicMlp;
 use trident::nn::data::synthetic_digits;
 

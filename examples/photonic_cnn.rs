@@ -7,6 +7,8 @@
 //! cargo run --release --example photonic_cnn [per_class] [epochs]
 //! ```
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::arch::conv_engine::PhotonicCnn;
 use trident::nn::data::synthetic_digits;
 

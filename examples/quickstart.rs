@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::arch::pe::ProcessingElement;
 use trident::pcm::activation::GstRelu;
 

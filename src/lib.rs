@@ -4,4 +4,5 @@
 //! cross-crate integration tests in `tests/`; the library surface is the
 //! [`trident`] crate, re-exported here for the examples' convenience.
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless))]
 pub use trident;

@@ -1,5 +1,7 @@
 //! Property-based invariants spanning the device crates.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use proptest::prelude::*;
 use trident::arch::bank::WeightBank;
 use trident::pcm::gst::GstParameters;

@@ -3,6 +3,8 @@
 //! its retry bound on healthy cells, and wear-leveling never programs a
 //! cell past its endurance budget.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

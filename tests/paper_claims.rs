@@ -1,6 +1,8 @@
 //! The paper's headline claims, asserted across crates — the contract the
 //! whole reproduction must keep.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::baselines::electronic::{bearkey_tb96, google_coral, nvidia_agx_xavier};
 use trident::baselines::photonic::{crosslight, deap_cnn, pixel, trident_photonic};
 use trident::baselines::traits::AcceleratorModel;

@@ -1,3 +1,5 @@
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 #![allow(clippy::needless_range_loop)]
 //! Cross-crate equivalence: the photonic engine (trident-arch) against
 //! the float reference (trident-nn), layer by layer and end to end.

@@ -1,6 +1,8 @@
 //! End-to-end training pipeline: photonic in-situ training vs the float
 //! reference on the same data, and the bit-resolution training gate.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use trident::arch::engine::PhotonicMlp;
 use trident::nn::data::synthetic_digits;
 use trident::nn::init::seeded_rng;

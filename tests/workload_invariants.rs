@@ -1,6 +1,8 @@
 //! Property-based invariants of the workload characterization and its
 //! interaction with the dataflow mapper.
 
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use proptest::prelude::*;
 use trident::workload::dataflow::DataflowModel;
 use trident::workload::layer::{LayerKind, LayerSpec, TensorShape};
