@@ -8,7 +8,9 @@
 //! crosstalk channels and coarser tiling; more, smaller PEs tile
 //! fine-grained layers better but multiply TIA/cache overheads.
 //!
-//! Sweeps are embarrassingly parallel and run under Rayon.
+//! Sweeps are embarrassingly parallel: geometries fan out on the executor
+//! and collect back in grid order, so sweep output is byte-stable across
+//! `TRIDENT_THREADS` settings.
 
 use crate::config::TridentConfig;
 use crate::perf::TridentPerfModel;

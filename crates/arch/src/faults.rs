@@ -19,6 +19,13 @@
 //!   chip, inject faults, measure the accuracy drop, fine-tune in situ on
 //!   the faulted chip (through the closed-loop program-and-verify write
 //!   path), and measure the recovery.
+//!
+//! Campaigns fan out on the executor twice — across fault plans, and
+//! across chip trials inside each plan (the nested region shrinks its
+//! split to stay inside the `TRIDENT_THREADS` budget). Each trial seeds
+//! its own chip from `plan.seed + trial` and the trial sums fold in trial
+//! order, so campaign rows are bitwise identical at any thread count
+//! (DESIGN.md §11).
 
 use crate::endurance::EnduranceReport;
 use crate::engine::{EngineOptions, PhotonicMlp};

@@ -8,6 +8,10 @@
 //! bits. The two views should agree that 8-bit operation is attainable —
 //! and the measurement exposes what the budget can't: quantization and
 //! crosstalk, not just receiver noise.
+//!
+//! Trials fan out on the executor (each seeds its own RNG and bank from
+//! the trial index) and their error vectors concatenate in trial order,
+//! so a report is bitwise identical at any thread count.
 
 use crate::pe::ProcessingElement;
 use rand::rngs::StdRng;

@@ -9,8 +9,11 @@
 //! The experiment: train a network on *ideal* hardware (a stand-in for
 //! digital training), deploy its weights onto chips whose rings carry
 //! Gaussian resonance offsets, measure the accuracy drop, then fine-tune
-//! *in-situ on the same imperfect chip* and measure the recovery. Trials
-//! across chip identities run in parallel with Rayon.
+//! *in-situ on the same imperfect chip* and measure the recovery. Sigma
+//! points and the chip trials inside them fan out on the executor; every
+//! chip draws its variation from `1000 + trial`, and the per-sigma
+//! accuracy sums fold in trial order, so rows are bitwise identical at
+//! any `TRIDENT_THREADS` setting (DESIGN.md §11).
 
 use crate::engine::{EngineOptions, PhotonicMlp};
 use rayon::prelude::*;

@@ -56,5 +56,36 @@ fn conv_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, pe_modes, engine_passes, conv_engine);
+/// The executor-backed hot paths: these scale with `TRIDENT_THREADS` and
+/// are the speedup gauges for the multi-threaded pool (ISSUE 4) — compare
+/// BENCH_results.json between `TRIDENT_THREADS=1` and the core count.
+fn parallel_paths(c: &mut Criterion) {
+    use trident::arch::fidelity;
+    use trident::nn::linalg;
+    use trident::nn::tensor::Tensor;
+    c.bench_function("fidelity_enob_16x16_24trials", |b| {
+        b.iter(|| black_box(fidelity::measure(16, 16, 24, true, 7)))
+    });
+    c.bench_function("nn_matmul_96x96x96", |b| {
+        let a = Tensor::from_vec(
+            &[96, 96],
+            (0..96 * 96).map(|i| ((i % 23) as f32 - 11.0) / 11.0).collect(),
+        );
+        let w = Tensor::from_vec(
+            &[96, 96],
+            (0..96 * 96).map(|i| ((i % 17) as f32 - 8.0) / 8.0).collect(),
+        );
+        b.iter(|| black_box(linalg::matmul(black_box(&a), black_box(&w))))
+    });
+    c.bench_function("nn_matvec_256x256", |b| {
+        let a = Tensor::from_vec(
+            &[256, 256],
+            (0..256 * 256).map(|i| ((i % 19) as f32 - 9.0) / 9.0).collect(),
+        );
+        let x: Vec<f32> = (0..256).map(|i| (i % 7) as f32 / 7.0).collect();
+        b.iter(|| black_box(linalg::matvec(black_box(&a), black_box(&x))))
+    });
+}
+
+criterion_group!(benches, pe_modes, engine_passes, conv_engine, parallel_paths);
 criterion_main!(benches);

@@ -1,26 +1,34 @@
 //! Prints every table and figure of the paper in order, plus the
 //! ablations — the one-shot reproduction entry point.
+//!
+//! The sections are independent (each seeds its own RNGs), so they render
+//! in parallel on the executor and print in paper order afterwards. The
+//! ordered collect keeps stdout byte-identical to the sequential run at
+//! any `TRIDENT_THREADS` setting.
+use rayon::prelude::*;
 use trident::experiments as ex;
 
 fn main() {
     println!("Trident reproduction: all paper artifacts\n");
-    for section in [
-        ex::table1::render(),
-        ex::table2::render(),
-        ex::table3::render(),
-        ex::table4::render(),
-        ex::table5::render(),
-        ex::fig3::render(),
-        ex::fig4::render(),
-        ex::fig5::render(),
-        ex::fig6::render(),
-        ex::ablations::tuning::render(),
-        ex::ablations::adc::render(),
-        ex::ablations::scale::render(),
-        ex::ablations::bits::render(4, 8),
-        ex::ablations::dfa_vs_bp::render(3, 8),
-        ex::ablations::variation::render(3, 2),
-    ] {
+    let renderers: Vec<Box<dyn Fn() -> String + Send + Sync>> = vec![
+        Box::new(ex::table1::render),
+        Box::new(ex::table2::render),
+        Box::new(ex::table3::render),
+        Box::new(ex::table4::render),
+        Box::new(ex::table5::render),
+        Box::new(ex::fig3::render),
+        Box::new(ex::fig4::render),
+        Box::new(ex::fig5::render),
+        Box::new(ex::fig6::render),
+        Box::new(ex::ablations::tuning::render),
+        Box::new(ex::ablations::adc::render),
+        Box::new(ex::ablations::scale::render),
+        Box::new(|| ex::ablations::bits::render(4, 8)),
+        Box::new(|| ex::ablations::dfa_vs_bp::render(3, 8)),
+        Box::new(|| ex::ablations::variation::render(3, 2)),
+    ];
+    let sections: Vec<String> = renderers.into_par_iter().map(|render| render()).collect();
+    for section in sections {
         println!("{section}");
     }
 }

@@ -4,12 +4,30 @@
 //! with `par_chunks_mut`, which keeps each thread writing a disjoint slice
 //! (data-race freedom by construction) and the inner loops contiguous for
 //! the autovectoriser.
+//!
+//! GEMM is blocked two ways: output rows are handed to the pool in
+//! `ROW_BLOCK`-row tiles (fewer, fatter tasks), and the shared `B` matrix
+//! is walked one `K_BLOCK`-row panel at a time so the panel stays hot in
+//! cache across every row of the tile (B-panel reuse). Blocking never
+//! reorders the additions into any output element — `k` ascends for each
+//! `(i, c)` pair exactly as in the naive triple loop — so results are
+//! bitwise identical to the unblocked, single-threaded kernel at any
+//! thread count (the repo-wide determinism guarantee, DESIGN.md §11).
 
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Threshold below which GEMM stays sequential (threading overhead wins).
+/// Work-size threshold below which the kernels stay sequential (threading
+/// overhead wins). Applied to `m·k·n` for GEMM and `m·k` / `m·n` for the
+/// rank-1 and matrix-vector kernels — all three honour it.
 const PAR_THRESHOLD: usize = 64 * 64;
+
+/// Output rows per parallel GEMM task.
+const ROW_BLOCK: usize = 8;
+
+/// Rows of `B` per cache panel: 64 × n f32 ≈ 16 KiB at n = 64, sized to
+/// sit in L1 alongside the row tile being produced.
+const K_BLOCK: usize = 64;
 
 /// `C = A × B` for row-major matrices `A: [m, k]`, `B: [k, n]`.
 ///
@@ -22,30 +40,46 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul inner dimensions {k} vs {k2}");
     let mut out = Tensor::zeros(&[m, n]);
+    if m * n == 0 {
+        return out;
+    }
     let a_data = a.data();
     let b_data = b.data();
 
-    let kernel = |row: &mut [f32], i: usize| {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[p * n..(p + 1) * n];
-            for (c, &b_pc) in b_row.iter().enumerate() {
-                row[c] += a_ip * b_pc;
+    // One task: a ROW_BLOCK-row tile of C, accumulated panel by panel so
+    // each B panel is reused across every row of the tile before the next
+    // panel is touched.
+    let kernel = |tile: &mut [f32], tile_idx: usize| {
+        let row0 = tile_idx * ROW_BLOCK;
+        let rows = tile.len() / n;
+        for k0 in (0..k).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(k);
+            for r in 0..rows {
+                let i = row0 + r;
+                let a_panel = &a_data[i * k + k0..i * k + k1];
+                let row = &mut tile[r * n..(r + 1) * n];
+                for (dk, &a_ip) in a_panel.iter().enumerate() {
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let p = k0 + dk;
+                    let b_row = &b_data[p * n..(p + 1) * n];
+                    for (c, &b_pc) in b_row.iter().enumerate() {
+                        row[c] += a_ip * b_pc;
+                    }
+                }
             }
         }
     };
 
     if m * n * k >= PAR_THRESHOLD {
         out.data_mut()
-            .par_chunks_mut(n)
+            .par_chunks_mut(ROW_BLOCK * n)
             .enumerate()
-            .for_each(|(i, row)| kernel(row, i));
+            .for_each(|(t, tile)| kernel(tile, t));
     } else {
-        for (i, row) in out.data_mut().chunks_mut(n).enumerate() {
-            kernel(row, i);
+        for (t, tile) in out.data_mut().chunks_mut(ROW_BLOCK * n).enumerate() {
+            kernel(tile, t);
         }
     }
     out
@@ -56,18 +90,32 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
     assert_eq!(a.ndim(), 2, "matvec lhs must be 2-D");
     let (m, k) = (a.shape()[0], a.shape()[1]);
     assert_eq!(x.len(), k, "matvec dimension mismatch");
-    (0..m)
-        .map(|i| a.row(i).iter().zip(x).map(|(&w, &xi)| w * xi).sum())
-        .collect()
+    let row_dot = |i: usize| -> f32 { a.row(i).iter().zip(x).map(|(&w, &xi)| w * xi).sum() };
+    if m * k >= PAR_THRESHOLD {
+        (0..m).into_par_iter().map(row_dot).collect()
+    } else {
+        (0..m).map(row_dot).collect()
+    }
 }
 
 /// Outer product `u ⊗ v` as an `[len(u), len(v)]` matrix.
 pub fn outer(u: &[f32], v: &[f32]) -> Tensor {
-    let mut out = Tensor::zeros(&[u.len(), v.len()]);
-    for (i, &ui) in u.iter().enumerate() {
-        let row = out.row_mut(i);
-        for (j, &vj) in v.iter().enumerate() {
-            row[j] = ui * vj;
+    let (m, n) = (u.len(), v.len());
+    let mut out = Tensor::zeros(&[m, n]);
+    if m * n == 0 {
+        return out;
+    }
+    let fill = |row: &mut [f32], i: usize| {
+        let ui = u[i];
+        for (slot, &vj) in row.iter_mut().zip(v) {
+            *slot = ui * vj;
+        }
+    };
+    if m * n >= PAR_THRESHOLD {
+        out.data_mut().par_chunks_mut(n).enumerate().for_each(|(i, row)| fill(row, i));
+    } else {
+        for (i, row) in out.data_mut().chunks_mut(n).enumerate() {
+            fill(row, i);
         }
     }
     out
@@ -101,18 +149,49 @@ mod tests {
 
     #[test]
     fn large_matmul_parallel_matches_sequential_shape() {
-        // Exercise the parallel path and check against matvec per column.
-        let m = 80;
+        // Exercise the parallel blocked path and check against explicit
+        // dot products. Sizes straddle ROW_BLOCK/K_BLOCK boundaries.
+        let m = 83;
         let k = 70;
-        let n = 90;
+        let n = 91;
         let a = Tensor::from_vec(&[m, k], (0..m * k).map(|x| (x % 13) as f32 * 0.1).collect());
         let b = Tensor::from_vec(&[k, n], (0..k * n).map(|x| (x % 7) as f32 * 0.2).collect());
         let c = matmul(&a, &b);
-        // Spot-check a handful of entries against explicit dot products.
-        for &(i, j) in &[(0, 0), (79, 89), (40, 45), (13, 71)] {
+        for &(i, j) in &[(0, 0), (82, 90), (40, 45), (13, 71)] {
             let col: Vec<f32> = (0..k).map(|p| b.at2(p, j)).collect();
             let expected = dot(a.row(i), &col);
             assert!((c.at2(i, j) - expected).abs() < 1e-3, "mismatch at ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_identical_to_naive_triple_loop() {
+        // The blocking must never reorder additions into an output
+        // element — exact float equality against the i-k-j reference.
+        let (m, k, n) = (21, 130, 17);
+        let a = Tensor::from_vec(
+            &[m, k],
+            (0..m * k).map(|x| ((x * 31 % 997) as f32 - 498.0) / 499.0).collect(),
+        );
+        let b = Tensor::from_vec(
+            &[k, n],
+            (0..k * n).map(|x| ((x * 17 % 883) as f32 - 441.0) / 442.0).collect(),
+        );
+        let c = matmul(&a, &b);
+        let mut reference = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                let a_ip = a.at2(i, p);
+                if a_ip == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    *reference.at2_mut(i, j) += a_ip * b.at2(p, j);
+                }
+            }
+        }
+        for (got, want) in c.data().iter().zip(reference.data()) {
+            assert_eq!(got.to_bits(), want.to_bits());
         }
     }
 
@@ -133,10 +212,45 @@ mod tests {
     }
 
     #[test]
+    fn large_matvec_parallel_matches_sequential() {
+        // Above PAR_THRESHOLD the parallel path must agree bit-for-bit
+        // with per-row sequential dots.
+        let (m, k) = (70, 90);
+        let a = Tensor::from_vec(&[m, k], (0..m * k).map(|x| (x % 11) as f32 * 0.3).collect());
+        let x: Vec<f32> = (0..k).map(|i| (i % 5) as f32 * 0.7).collect();
+        let y = matvec(&a, &x);
+        assert_eq!(y.len(), m);
+        for i in 0..m {
+            assert_eq!(y[i].to_bits(), dot(a.row(i), &x).to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
     fn outer_product_shape_and_values() {
         let o = outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
         assert_eq!(o.shape(), &[2, 3]);
         assert_eq!(o.data(), &[3., 4., 5., 6., 8., 10.]);
+    }
+
+    #[test]
+    fn large_outer_parallel_matches_sequential() {
+        let u: Vec<f32> = (0..80).map(|i| (i % 9) as f32 * 0.4 - 1.0).collect();
+        let v: Vec<f32> = (0..70).map(|i| (i % 6) as f32 * 0.5 - 1.2).collect();
+        let o = outer(&u, &v);
+        assert_eq!(o.shape(), &[80, 70]);
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &vj) in v.iter().enumerate() {
+                assert_eq!(o.at2(i, j).to_bits(), (ui * vj).to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_are_handled() {
+        assert_eq!(matmul(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[3, 2])).len(), 0);
+        assert_eq!(matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[3, 0])).len(), 0);
+        assert!(matvec(&Tensor::zeros(&[0, 4]), &[0.0; 4]).is_empty());
+        assert_eq!(outer(&[], &[1.0]).len(), 0);
     }
 
     #[test]

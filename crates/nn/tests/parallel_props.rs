@@ -1,0 +1,103 @@
+//! Property tests for executor determinism at the linalg layer (ISSUE 4):
+//! `matmul`, `matvec` and `outer` must be bitwise identical at 1, 2 and 8
+//! threads. Sizes are drawn above `PAR_THRESHOLD` so the parallel blocked
+//! paths genuinely run; the 1-thread pass pins the sequential reference.
+//!
+//! The thread override is process-global, so every case holds
+//! `OVERRIDE_LOCK` for its whole body — `#[test]` functions in one binary
+//! run concurrently.
+
+use proptest::prelude::*;
+use rayon::pool;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use trident_nn::linalg::{matmul, matvec, outer};
+use trident_nn::tensor::Tensor;
+
+fn override_lock() -> MutexGuard<'static, ()> {
+    static OVERRIDE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match OVERRIDE_LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Deterministic, sign-varied f32 fill so additions are order-sensitive
+/// in the low mantissa bits.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2003) as f32 - 1001.0) / 617.0
+        })
+        .collect()
+}
+
+fn bits_of(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn matmul_bitwise_identical_across_thread_counts(
+        m in 16usize..40,
+        k in 16usize..40,
+        n in 16usize..40,
+        seed in 1u64..1_000_000,
+    ) {
+        let _guard = override_lock();
+        let a = Tensor::from_vec(&[m, k], fill(m * k, seed));
+        let b = Tensor::from_vec(&[k, n], fill(k * n, seed ^ 0xabcd));
+        pool::set_thread_override(Some(1));
+        let reference = bits_of(matmul(&a, &b).data());
+        for threads in [2usize, 8] {
+            pool::set_thread_override(Some(threads));
+            prop_assert_eq!(
+                &bits_of(matmul(&a, &b).data()),
+                &reference,
+                "threads={}", threads
+            );
+        }
+        pool::set_thread_override(None);
+    }
+
+    #[test]
+    fn matvec_bitwise_identical_across_thread_counts(
+        m in 64usize..128,
+        k in 64usize..128,
+        seed in 1u64..1_000_000,
+    ) {
+        let _guard = override_lock();
+        let a = Tensor::from_vec(&[m, k], fill(m * k, seed));
+        let x = fill(k, seed ^ 0x1234);
+        pool::set_thread_override(Some(1));
+        let reference = bits_of(&matvec(&a, &x));
+        for threads in [2usize, 8] {
+            pool::set_thread_override(Some(threads));
+            prop_assert_eq!(&bits_of(&matvec(&a, &x)), &reference, "threads={}", threads);
+        }
+        pool::set_thread_override(None);
+    }
+
+    #[test]
+    fn outer_bitwise_identical_across_thread_counts(
+        m in 64usize..128,
+        n in 64usize..128,
+        seed in 1u64..1_000_000,
+    ) {
+        let _guard = override_lock();
+        let u = fill(m, seed);
+        let v = fill(n, seed ^ 0x7777);
+        pool::set_thread_override(Some(1));
+        let reference = bits_of(outer(&u, &v).data());
+        for threads in [2usize, 8] {
+            pool::set_thread_override(Some(threads));
+            prop_assert_eq!(&bits_of(outer(&u, &v).data()), &reference, "threads={}", threads);
+        }
+        pool::set_thread_override(None);
+    }
+}

@@ -85,7 +85,9 @@ impl DataflowModel {
     }
 
     /// Map every MAC layer of a model (in parallel — models have dozens of
-    /// layers and callers sweep many models × architectures).
+    /// layers and callers sweep many models × architectures). The
+    /// filter-map keeps layer order, so mappings are identical at any
+    /// thread count.
     pub fn map_model(&self, model: &ModelSpec) -> ModelMapping {
         let layers: Vec<LayerMapping> =
             model.layers.par_iter().filter_map(|l| self.map_layer(l)).collect();

@@ -2,31 +2,65 @@
 //!
 //! Exposes the API subset the workspace's benches use (`bench_function`,
 //! `benchmark_group` / `bench_with_input`, `black_box`, the `criterion_group!`
-//! / `criterion_main!` macros) backed by a simple wall-clock timer: a short
-//! warm-up, then timed batches until a small measurement budget is spent,
-//! reporting mean ns/iter to stderr. No statistics, plots, or CLI — enough
-//! to keep `cargo bench` compiling and producing comparable numbers offline.
+//! / `criterion_main!` macros) backed by a sample-median wall-clock timer:
+//! a short warm-up, a calibration probe to size iteration batches, then
+//! `SAMPLES` timed batches whose per-iteration medians are reported to
+//! stderr. No plots or CLI — enough to keep `cargo bench` compiling and
+//! producing comparable numbers offline.
+//!
+//! Beyond timing, every measurement is recorded in a process-global
+//! registry and `criterion_main!` flushes it to a machine-readable
+//! `BENCH_results.json` (per-bench median ns/iter + derived iters/sec)
+//! so the repo's perf trajectory is tracked run over run. The output
+//! path is `TRIDENT_BENCH_OUT` when set, else `BENCH_results.json` in
+//! the working directory; an existing file is merged by bench id, so the
+//! workspace's several bench binaries accumulate into one report.
 
 #![deny(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const WARMUP_ITERS: u64 = 3;
+/// Timed batches per benchmark; the median batch is reported.
+const SAMPLES: usize = 11;
+/// Target total measurement time across all samples.
 const MEASURE_BUDGET: Duration = Duration::from_millis(40);
+/// Hard cap on iterations, so micro-benches don't spin for ever.
 const MAX_ITERS: u64 = 10_000;
+
+/// One flushed measurement.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    median_ns: f64,
+    iters_per_sec: f64,
+    samples: usize,
+    iters: u64,
+}
+
+/// Process-global registry of measurements, flushed by `criterion_main!`.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<BenchRecord>> {
+    match RESULTS.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
 
 /// Times one benchmark routine.
 pub struct Bencher {
+    samples_ns: Vec<f64>,
     iters: u64,
-    total: Duration,
 }
 
 impl Bencher {
     fn new() -> Self {
-        Self { iters: 0, total: Duration::ZERO }
+        Self { samples_ns: Vec::new(), iters: 0 }
     }
 
     /// Run `routine` repeatedly under the timer.
@@ -34,19 +68,61 @@ impl Bencher {
         for _ in 0..WARMUP_ITERS {
             black_box(routine());
         }
-        let start = Instant::now();
-        let mut iters = 0u64;
-        while start.elapsed() < MEASURE_BUDGET && iters < MAX_ITERS {
-            black_box(routine());
-            iters += 1;
+        // Calibration probe: size batches so ~SAMPLES of them fill the
+        // budget, clamped into [1, MAX_ITERS/SAMPLES].
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe_ns = probe_start.elapsed().as_nanos().max(1);
+        let per_sample_ns = (MEASURE_BUDGET.as_nanos() / SAMPLES as u128).max(1);
+        let max_batch = (MAX_ITERS / SAMPLES as u64).max(1);
+        let batch = u64::try_from(per_sample_ns / probe_ns).unwrap_or(max_batch).clamp(1, max_batch);
+
+        self.samples_ns.clear();
+        self.iters = 0;
+        let overall = Instant::now();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            self.iters += batch;
+            // Runaway guard for routines much slower than the probe.
+            if overall.elapsed() > MEASURE_BUDGET * 4 {
+                break;
+            }
         }
-        self.iters = iters.max(1);
-        self.total = start.elapsed();
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        if sorted.len() % 2 == 1 {
+            sorted[mid]
+        } else {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        }
     }
 
     fn report(&self, id: &str) {
-        let ns = self.total.as_nanos() as f64 / self.iters as f64;
-        eprintln!("{id:<48} {ns:>14.1} ns/iter  ({} iters)", self.iters);
+        let median = self.median_ns();
+        let iters_per_sec = if median > 0.0 { 1e9 / median } else { 0.0 };
+        eprintln!(
+            "{id:<48} {median:>14.1} ns/iter  (median of {} samples, {} iters)",
+            self.samples_ns.len(),
+            self.iters
+        );
+        registry().push(BenchRecord {
+            id: id.to_string(),
+            median_ns: median,
+            iters_per_sec,
+            samples: self.samples_ns.len(),
+            iters: self.iters,
+        });
     }
 }
 
@@ -111,6 +187,78 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_record(r: &BenchRecord) -> String {
+    format!(
+        "    {{\"id\": \"{}\", \"median_ns\": {}, \"iters_per_sec\": {}, \"samples\": {}, \"iters\": {}}}",
+        escape_json(&r.id),
+        r.median_ns,
+        r.iters_per_sec,
+        r.samples,
+        r.iters
+    )
+}
+
+/// Parse one record line produced by `emit_record`. This reads only the
+/// shim's own fixed one-record-per-line format (ids are assumed not to
+/// contain escaped quotes) — not a general JSON parser.
+fn parse_record(line: &str) -> Option<BenchRecord> {
+    let field = |key: &str| -> Option<&str> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim())
+    };
+    let id_tag = "\"id\": \"";
+    let id_start = line.find(id_tag)? + id_tag.len();
+    let id_end = line[id_start..].find('"')? + id_start;
+    Some(BenchRecord {
+        id: line[id_start..id_end].replace("\\\"", "\"").replace("\\\\", "\\"),
+        median_ns: field("median_ns")?.parse().ok()?,
+        iters_per_sec: field("iters_per_sec")?.parse().ok()?,
+        samples: field("samples")?.parse().ok()?,
+        iters: field("iters")?.parse().ok()?,
+    })
+}
+
+fn output_path() -> std::path::PathBuf {
+    std::env::var_os("TRIDENT_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("BENCH_results.json"))
+}
+
+/// Write the registry to `BENCH_results.json`, merging with any existing
+/// file by bench id (this process's measurements win). Called by
+/// `criterion_main!` after all groups; a write failure is reported to
+/// stderr, never panicked on.
+pub fn flush_results() {
+    let fresh = registry().clone();
+    if fresh.is_empty() {
+        return;
+    }
+    let path = output_path();
+    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&path)
+        .map(|text| text.lines().filter_map(parse_record).collect())
+        .unwrap_or_default();
+    for record in fresh {
+        match merged.iter_mut().find(|r| r.id == record.id) {
+            Some(slot) => *slot = record,
+            None => merged.push(record),
+        }
+    }
+    let body: Vec<String> = merged.iter().map(emit_record).collect();
+    let json = format!("{{\n  \"schema\": 1,\n  \"results\": [\n{}\n  ]\n}}\n", body.join(",\n"));
+    if let Err(err) = std::fs::write(&path, json) {
+        eprintln!("criterion shim: could not write {}: {err}", path.display());
+    } else {
+        eprintln!("criterion shim: wrote {}", path.display());
+    }
+}
+
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
@@ -126,6 +274,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_results();
         }
     };
 }
@@ -148,5 +297,34 @@ mod tests {
             b.iter(|| black_box(n * 2))
         });
         group.finish();
+    }
+
+    #[test]
+    fn median_of_odd_and_even_sample_counts() {
+        let mut b = Bencher::new();
+        b.samples_ns = vec![3.0, 1.0, 2.0];
+        assert!((b.median_ns() - 2.0).abs() < 1e-12);
+        b.samples_ns = vec![4.0, 1.0, 2.0, 3.0];
+        assert!((b.median_ns() - 2.5).abs() < 1e-12);
+        b.samples_ns.clear();
+        assert_eq!(b.median_ns(), 0.0);
+    }
+
+    #[test]
+    fn record_round_trips_through_the_emitter() {
+        let record = BenchRecord {
+            id: "group/bench/16".to_string(),
+            median_ns: 1234.5,
+            iters_per_sec: 810044.55,
+            samples: 11,
+            iters: 4400,
+        };
+        let line = emit_record(&record);
+        let back = parse_record(&line).expect("emitted line must parse");
+        assert_eq!(back.id, record.id);
+        assert!((back.median_ns - record.median_ns).abs() < 1e-9);
+        assert!((back.iters_per_sec - record.iters_per_sec).abs() < 1e-6);
+        assert_eq!(back.samples, record.samples);
+        assert_eq!(back.iters, record.iters);
     }
 }

@@ -1,81 +1,246 @@
-//! Offline stand-in for `rayon`: the same parallel-iterator *API shape*
-//! (`par_iter`, `into_par_iter`, `par_chunks_mut`, `map`/`reduce`/…)
-//! executed sequentially.
+//! Offline stand-in for `rayon`: the parallel-iterator *API subset* the
+//! workspace uses (`par_iter`, `into_par_iter`, `par_chunks_mut`,
+//! `map`/`filter_map`/`flat_map_iter`/`enumerate`, and the
+//! `for_each`/`collect`/`reduce`/`sum`/`count` terminals), executed on a
+//! real multi-threaded executor (see [`pool`]).
 //!
-//! The build environment has no crates.io access, so this workspace vendors
-//! the subset of rayon's surface its crates call. Sequential execution is
-//! semantically identical for every call-site here — the simulator's
-//! parallel loops are all independent map/reduce shapes with associative
-//! combiners — only wall-clock parallelism is lost. Swapping the real
-//! rayon back in is a one-line Cargo.toml change.
+//! The build environment has no crates.io access, so this crate vendors
+//! the surface its callers need instead of depending on upstream rayon.
+//! It differs from upstream in three deliberate ways:
+//!
+//! 1. **Eager sources.** A parallel iterator materialises its source
+//!    items into a `Vec` up front and distributes *those*; there is no
+//!    lazy splitting. Sources here are ranges, slices and chunk lists —
+//!    always tiny next to the per-item work (training runs, Monte-Carlo
+//!    trials, GEMM row blocks).
+//! 2. **Ordered, sequential reduction.** `collect`/`reduce`/`sum` run the
+//!    per-item closures in parallel, then combine the results *in item
+//!    order on the calling thread*. Upstream rayon reduces tree-wise,
+//!    which reorders float additions; here every f64 reduction is bitwise
+//!    identical to the sequential path at any thread count — the
+//!    repo-wide determinism guarantee (DESIGN.md §11) depends on it.
+//! 3. **Single-stage pipelines.** Adapters don't chain arbitrarily (no
+//!    `.map().map()`); every call site is source → one adapter →
+//!    terminal. Swapping real rayon back in remains a one-line
+//!    Cargo.toml change because the shapes used are upstream-compatible.
+//!
+//! Closure bounds are `Fn + Sync` (upstream requires the same) and item
+//! types must be `Send`. `TRIDENT_THREADS=1` — or a single-core host —
+//! runs the exact sequential code path with no threads spawned.
 
 #![deny(unsafe_code)]
 
-/// Sequential adapter carrying rayon's method names over a plain iterator.
-pub struct Par<I>(I);
+pub mod pool;
 
-impl<I: Iterator> Par<I> {
-    pub fn map<T, F>(self, f: F) -> Par<std::iter::Map<I, F>>
+use std::iter::Sum;
+use std::marker::PhantomData;
+
+/// A materialised parallel iterator: the source items, ready to be
+/// distributed across the pool by a terminal or shaped by one adapter.
+pub struct Par<T> {
+    items: Vec<T>,
+}
+
+impl<T> Par<T> {
+    /// One-to-one parallel map.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, U, F>
     where
-        F: FnMut(I::Item) -> T,
+        F: Fn(T) -> U,
     {
-        Par(self.0.map(f))
+        ParMap { items: self.items, f, _out: PhantomData }
     }
 
-    pub fn filter_map<T, F>(self, f: F) -> Par<std::iter::FilterMap<I, F>>
+    /// Parallel map that drops `None` results (order of the survivors is
+    /// preserved).
+    pub fn filter_map<U, F>(self, f: F) -> ParFilterMap<T, U, F>
     where
-        F: FnMut(I::Item) -> Option<T>,
+        F: Fn(T) -> Option<U>,
     {
-        Par(self.0.filter_map(f))
+        ParFilterMap { items: self.items, f, _out: PhantomData }
     }
 
-    /// rayon's "flat-map over a serial iterator" — sequentially these are
-    /// the same operation.
-    pub fn flat_map_iter<U, F>(self, f: F) -> Par<std::iter::FlatMap<I, U, F>>
+    /// rayon's "flat-map over a serial iterator": each item expands to a
+    /// sub-sequence on its worker; sub-sequences concatenate in item
+    /// order.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParFlatMap<T, U, F>
     where
         U: IntoIterator,
-        F: FnMut(I::Item) -> U,
+        F: Fn(T) -> U,
     {
-        Par(self.0.flat_map(f))
+        ParFlatMap { items: self.items, f, _out: PhantomData }
     }
 
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
+    /// Pair every item with its source index.
+    pub fn enumerate(self) -> Par<(usize, T)> {
+        Par { items: self.items.into_iter().enumerate().collect() }
     }
 
+    /// Run `f` over every item on the pool.
     pub fn for_each<F>(self, f: F)
     where
-        F: FnMut(I::Item),
+        T: Send,
+        F: Fn(T) + Sync,
     {
-        self.0.for_each(f)
+        let _units: Vec<()> = pool::execute(self.items, |_, x| f(x));
     }
 
+    /// Collect the items (already materialised, so this is the in-order
+    /// move into the target collection).
     pub fn collect<C>(self) -> C
     where
-        C: FromIterator<I::Item>,
+        C: FromIterator<T>,
     {
-        self.0.collect()
+        self.items.into_iter().collect()
     }
 
-    /// rayon-style reduce: fold from an identity with an associative
-    /// combiner. Sequentially this is exactly a fold.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// rayon-style reduce. The facade always folds sequentially in item
+    /// order (see the crate docs); on a bare source there is no per-item
+    /// closure to parallelise, so this is exactly a fold.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
     {
-        self.0.fold(identity(), op)
+        self.items.into_iter().fold(identity(), op)
     }
 
+    /// Sum the items in order.
     pub fn sum<S>(self) -> S
     where
-        S: std::iter::Sum<I::Item>,
+        S: Sum<T>,
     {
-        self.0.sum()
+        self.items.into_iter().sum()
     }
 
+    /// Number of items.
     pub fn count(self) -> usize {
-        self.0.count()
+        self.items.len()
+    }
+}
+
+/// A one-to-one mapped pipeline awaiting a terminal.
+pub struct ParMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<U>,
+}
+
+impl<T, U, F> ParMap<T, U, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Map on the pool, collect in item order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U>,
+    {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x)).into_iter().collect()
+    }
+
+    /// Map on the pool, then fold the ordered results sequentially from
+    /// the identity — bitwise identical to the serial map-fold.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U,
+    {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x)).into_iter().fold(identity(), op)
+    }
+
+    /// Map on the pool, sum the ordered results sequentially.
+    pub fn sum<S>(self) -> S
+    where
+        S: Sum<U>,
+    {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x)).into_iter().sum()
+    }
+
+    /// Map on the pool, discarding results (for effectful closures).
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        let _units: Vec<()> = pool::execute(self.items, |_, x| g(f(x)));
+    }
+
+    /// Map on the pool (running every closure) and count the results.
+    pub fn count(self) -> usize {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x)).len()
+    }
+}
+
+/// A filtering pipeline awaiting a terminal.
+pub struct ParFilterMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<U>,
+}
+
+impl<T, U, F> ParFilterMap<T, U, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Option<U> + Sync,
+{
+    /// Filter-map on the pool; survivors keep their relative order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U>,
+    {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x)).into_iter().flatten().collect()
+    }
+
+    /// Filter-map on the pool and count the survivors.
+    pub fn count(self) -> usize {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x)).into_iter().flatten().count()
+    }
+}
+
+/// A flat-mapping pipeline awaiting a terminal.
+pub struct ParFlatMap<T, U, F> {
+    items: Vec<T>,
+    f: F,
+    _out: PhantomData<U>,
+}
+
+impl<T, U, F> ParFlatMap<T, U, F>
+where
+    T: Send,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Expand each item on its worker; concatenate in item order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<U::Item>,
+    {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Expand each item on its worker and sum everything in order.
+    pub fn sum<S>(self) -> S
+    where
+        S: Sum<U::Item>,
+    {
+        let f = self.f;
+        pool::execute(self.items, |_, x| f(x).into_iter().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .sum()
     }
 }
 
@@ -83,15 +248,13 @@ impl<I: Iterator> Par<I> {
 /// anything iterable.
 pub trait IntoParallelIterator {
     type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> Par<Self::Iter>;
+    fn into_par_iter(self) -> Par<Self::Item>;
 }
 
 impl<T: IntoIterator> IntoParallelIterator for T {
     type Item = T::Item;
-    type Iter = T::IntoIter;
-    fn into_par_iter(self) -> Par<T::IntoIter> {
-        Par(self.into_iter())
+    fn into_par_iter(self) -> Par<T::Item> {
+        Par { items: self.into_iter().collect() }
     }
 }
 
@@ -99,8 +262,7 @@ impl<T: IntoIterator> IntoParallelIterator for T {
 /// on collections whose shared reference is iterable (slices, `Vec`, …).
 pub trait IntoParallelRefIterator<'a> {
     type Item: 'a;
-    type Iter: Iterator<Item = Self::Item>;
-    fn par_iter(&'a self) -> Par<Self::Iter>;
+    fn par_iter(&'a self) -> Par<Self::Item>;
 }
 
 impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
@@ -108,20 +270,21 @@ where
     &'a C: IntoIterator,
 {
     type Item = <&'a C as IntoIterator>::Item;
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(self.into_iter())
+    fn par_iter(&'a self) -> Par<Self::Item> {
+        Par { items: self.into_iter().collect() }
     }
 }
 
-/// Mirror of `rayon::slice::ParallelSliceMut` for `par_chunks_mut`.
+/// Mirror of `rayon::slice::ParallelSliceMut` for `par_chunks_mut`: the
+/// chunks are disjoint `&mut` slices, so distributing them across threads
+/// is data-race-free by construction.
 pub trait ParallelSliceMut<T> {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]>;
 }
 
 impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
-        Par(self.chunks_mut(chunk_size))
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<&mut [T]> {
+        Par { items: self.chunks_mut(chunk_size).collect() }
     }
 }
 
@@ -172,5 +335,12 @@ mod tests {
         assert_eq!(odds, vec![1, 3, 5, 7, 9]);
         let pairs: Vec<i32> = (0..3).into_par_iter().flat_map_iter(|x| [x, x]).collect();
         assert_eq!(pairs, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn map_sum_and_count() {
+        let s: i64 = (0..100i64).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(s, (0..100i64).map(|x| x * x).sum::<i64>());
+        assert_eq!((0..17).into_par_iter().map(|x| x * 2).count(), 17);
     }
 }

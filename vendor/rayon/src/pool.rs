@@ -1,0 +1,234 @@
+//! The executor behind the parallel-iterator facade: a dependency-free,
+//! `forbid`-level-safe work distributor built on `std::thread::scope`.
+//!
+//! ## Lifecycle
+//!
+//! There is no persistent worker pool: without `unsafe` a long-lived pool
+//! cannot run borrowed (non-`'static`) closures, so each parallel region
+//! spawns scoped threads that die when the region ends. What *is* global
+//! and lazily initialised is the thread **budget**: the first parallel
+//! region reads `TRIDENT_THREADS` (default: `available_parallelism`) and
+//! caches it for the life of the process. Spawning a scoped thread costs
+//! tens of microseconds, which is noise against the call sites here
+//! (Monte-Carlo trials, training epochs, GEMM row blocks).
+//!
+//! ## Splitting heuristic
+//!
+//! Work items are pre-partitioned into contiguous chunks — more chunks
+//! than workers (`CHUNKS_PER_WORKER`) — and workers claim chunks from a
+//! shared atomic counter. Fast workers therefore claim more chunks
+//! (adaptive load balancing) without work-stealing deques. The calling
+//! thread participates as worker 0, so `TRIDENT_THREADS=N` spawns `N-1`
+//! extra OS threads. Nested parallel regions (e.g. trials inside a
+//! fault-plan sweep) see the live-worker count and shrink their own
+//! split, bounding total oversubscription near the budget.
+//!
+//! ## Determinism
+//!
+//! `execute` returns results **in item-index order** regardless of which
+//! thread computed what, and every reduction in the facade folds that
+//! ordered vector sequentially. Float output is therefore bitwise
+//! identical at any thread count, including `TRIDENT_THREADS=1`, which
+//! skips spawning entirely and runs the exact sequential path.
+//!
+//! ## Panic propagation
+//!
+//! A panicking work item poisons nothing: the region joins every worker,
+//! then re-raises the first observed payload on the calling thread via
+//! `std::panic::resume_unwind` — the sanctioned propagation path (no
+//! `unwrap` on join results, no aborts).
+
+use std::num::NonZeroUsize;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread;
+
+/// Chunks handed out per planned worker. More chunks than workers lets a
+/// worker that drew cheap items come back for more, at the cost of one
+/// `fetch_add` + uncontended lock per chunk.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Cached `TRIDENT_THREADS` / `available_parallelism` budget.
+static CONFIGURED: OnceLock<usize> = OnceLock::new();
+
+/// Test/bench override (0 = none). Checked before the cached budget so a
+/// process can re-run the same region at several thread counts.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Extra scoped threads currently live, across all regions. Nested
+/// regions subtract this from the budget when planning their split.
+static ACTIVE_EXTRA: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+fn configured_threads() -> usize {
+    *CONFIGURED.get_or_init(|| match std::env::var("TRIDENT_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    })
+}
+
+/// The thread budget a parallel region starting now would plan against.
+pub fn current_threads() -> usize {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => configured_threads(),
+        n => n,
+    }
+}
+
+/// Override the thread budget for this process (tests and benches re-run
+/// regions at several counts to check invariance). `None` restores the
+/// `TRIDENT_THREADS` / auto-detected budget; `Some(0)` is clamped to 1.
+pub fn set_thread_override(threads: Option<usize>) {
+    OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// Decrements the live-worker count even when the region unwinds.
+struct ActiveGuard(usize);
+
+impl ActiveGuard {
+    fn new(extra: usize) -> Self {
+        ACTIVE_EXTRA.fetch_add(extra, Ordering::Relaxed);
+        Self(extra)
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE_EXTRA.fetch_sub(self.0, Ordering::Relaxed);
+    }
+}
+
+/// Workers a region over `items` work items should use right now.
+fn plan_workers(items: usize) -> usize {
+    if items <= 1 {
+        return 1;
+    }
+    let budget = current_threads();
+    if budget <= 1 {
+        return 1;
+    }
+    budget.saturating_sub(ACTIVE_EXTRA.load(Ordering::Relaxed)).clamp(1, items)
+}
+
+/// Lock a slot, riding out poisoning: a poisoned mutex here means another
+/// worker panicked *while holding the lock*, which the take/store pattern
+/// below makes impossible for the data itself — recover the guard.
+fn lock_slot<T>(slot: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match slot.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A chunk of work items tagged with its base index, behind a lock so
+/// whichever worker claims it can take ownership.
+type InputSlot<T> = Mutex<Option<(usize, Vec<T>)>>;
+
+/// The ordered results of one claimed chunk.
+type OutputSlot<R> = Mutex<Option<Vec<R>>>;
+
+/// Run `task(index, item)` over every item, in parallel when the budget
+/// allows, returning results **in item order**. See the module docs for
+/// the determinism and panic contracts.
+pub fn execute<T, R, F>(items: Vec<T>, task: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = plan_workers(n);
+    if workers <= 1 {
+        // The exact sequential path: same closure, same order, no
+        // spawning — `TRIDENT_THREADS=1` behaves like the pre-pool code.
+        return items.into_iter().enumerate().map(|(i, x)| task(i, x)).collect();
+    }
+
+    // Contiguous, balanced chunks tagged with their base index.
+    let chunk_count = (workers * CHUNKS_PER_WORKER).min(n);
+    let mut chunks: Vec<(usize, Vec<T>)> = Vec::with_capacity(chunk_count);
+    let mut feed = items.into_iter();
+    let mut base = 0;
+    for c in 0..chunk_count {
+        let take = (n - base).div_ceil(chunk_count - c);
+        chunks.push((base, feed.by_ref().take(take).collect()));
+        base += take;
+    }
+
+    let inputs: Vec<InputSlot<T>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let outputs: Vec<OutputSlot<R>> = (0..inputs.len()).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let task = &task;
+
+    let run_worker = || {
+        loop {
+            let slot = next.fetch_add(1, Ordering::Relaxed);
+            if slot >= inputs.len() {
+                break;
+            }
+            let Some((chunk_base, chunk)) = lock_slot(&inputs[slot]).take() else {
+                continue;
+            };
+            let mut results = Vec::with_capacity(chunk.len());
+            for (offset, item) in chunk.into_iter().enumerate() {
+                results.push(task(chunk_base + offset, item));
+            }
+            *lock_slot(&outputs[slot]) = Some(results);
+        }
+    };
+
+    let _active = ActiveGuard::new(workers - 1);
+    thread::scope(|s| {
+        // The worker closure captures only shared references, so it is
+        // `Copy` — each spawn gets its own copy of the same borrows.
+        let handles: Vec<_> = (1..workers).map(|_| s.spawn(run_worker)).collect();
+        run_worker();
+        let mut first_panic = None;
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
+        }
+    });
+
+    let mut ordered = Vec::with_capacity(n);
+    for slot in outputs {
+        let part = match slot.into_inner() {
+            Ok(part) => part,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(part) = part {
+            ordered.extend(part);
+        }
+    }
+    debug_assert_eq!(ordered.len(), n, "every chunk must report on the success path");
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_sequential_for_tiny_inputs() {
+        assert_eq!(plan_workers(0), 1);
+        assert_eq!(plan_workers(1), 1);
+    }
+
+    #[test]
+    fn override_clamps_zero_to_one() {
+        set_thread_override(Some(0));
+        assert_eq!(current_threads(), 1);
+        set_thread_override(None);
+    }
+}

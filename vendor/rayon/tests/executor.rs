@@ -1,0 +1,191 @@
+//! Executor correctness suite (ISSUE 4): the facade must really use
+//! multiple OS threads, fall back to the exact sequential path at one
+//! thread, keep every reduction bitwise identical across thread counts,
+//! propagate worker panics, and handle empty inputs.
+//!
+//! Tests that touch the process-wide thread override serialise on
+//! `OVERRIDE_LOCK` — Rust runs `#[test]` functions concurrently within
+//! one binary.
+
+use proptest::prelude::*;
+use rayon::pool;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+fn override_lock() -> MutexGuard<'static, ()> {
+    static OVERRIDE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match OVERRIDE_LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Restores the default budget even if the test body panics.
+struct OverrideGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl OverrideGuard {
+    fn set(threads: usize) -> Self {
+        let lock = override_lock();
+        pool::set_thread_override(Some(threads));
+        Self { _lock: lock }
+    }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        pool::set_thread_override(None);
+    }
+}
+
+/// Acceptance: a large `par_iter` observably executes on ≥2 distinct OS
+/// threads when the budget allows. The sleep keeps the caller from
+/// draining the whole chunk queue before the spawned workers start.
+#[test]
+fn large_par_iter_uses_multiple_threads() {
+    let _guard = OverrideGuard::set(4);
+    let ids: Vec<thread::ThreadId> = (0..64)
+        .into_par_iter()
+        .map(|_| {
+            thread::sleep(Duration::from_millis(1));
+            thread::current().id()
+        })
+        .collect();
+    let distinct: HashSet<_> = ids.into_iter().collect();
+    assert!(distinct.len() >= 2, "expected ≥2 worker threads, saw {}", distinct.len());
+}
+
+/// `TRIDENT_THREADS=1` (here: the override) must run everything on the
+/// calling thread — the exact sequential fallback.
+#[test]
+fn one_thread_budget_stays_on_the_calling_thread() {
+    let _guard = OverrideGuard::set(1);
+    let me = thread::current().id();
+    let ids: Vec<thread::ThreadId> =
+        (0..64).into_par_iter().map(|_| thread::current().id()).collect();
+    assert!(ids.iter().all(|&id| id == me), "1-thread budget must not spawn workers");
+}
+
+#[test]
+fn worker_panic_propagates_to_the_caller() {
+    let _guard = OverrideGuard::set(4);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        (0..100u32).into_par_iter().for_each(|i| {
+            if i == 37 {
+                panic!("boom at {i}");
+            }
+        });
+    }));
+    let payload = result.expect_err("the worker panic must surface on the caller");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(message.contains("boom at 37"), "unexpected payload {message:?}");
+}
+
+#[test]
+fn empty_inputs_are_fine_at_any_thread_count() {
+    for threads in [1usize, 2, 8] {
+        let _guard = OverrideGuard::set(threads);
+        let nothing: Vec<i32> = Vec::new();
+        let mapped: Vec<i32> = nothing.par_iter().map(|&x| x * 2).collect();
+        assert!(mapped.is_empty());
+        let sum: f64 = Vec::<f64>::new().into_par_iter().map(|x| x * 2.0).sum();
+        // std's empty f64 sum is -0.0; the facade must match it exactly.
+        let serial: f64 = std::iter::empty::<f64>().sum();
+        assert_eq!(sum.to_bits(), serial.to_bits());
+        let reduced =
+            Vec::<f64>::new().into_par_iter().map(|x| x * 2.0).reduce(|| 1.5, |a, b| a + b);
+        assert_eq!(reduced.to_bits(), 1.5f64.to_bits());
+    }
+}
+
+#[test]
+fn chunks_mut_parallel_matches_sequential_fill() {
+    let _guard = OverrideGuard::set(8);
+    let mut parallel = vec![0u64; 1000];
+    parallel.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = (i * 1000 + j) as u64;
+        }
+    });
+    let mut serial = vec![0u64; 1000];
+    for (i, chunk) in serial.chunks_mut(7).enumerate() {
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = (i * 1000 + j) as u64;
+        }
+    }
+    assert_eq!(parallel, serial);
+}
+
+/// Deterministic pseudo-random f64s whose sum is order-sensitive in the
+/// low bits — exactly what tree-reduction would perturb.
+fn wobbly_values(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let magnitude = (state % 40) as i32 - 20;
+            (state as f64 / u64::MAX as f64) * 10f64.powi(magnitude)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel `map().sum()` is bitwise identical to the serial fold at
+    /// 1, 2 and 8 threads.
+    #[test]
+    fn map_sum_bitwise_identical_across_thread_counts(seed in 1u64..10_000, n in 0usize..300) {
+        let xs = wobbly_values(seed, n);
+        let serial: f64 = xs.iter().map(|&x| x.sin() * x).sum();
+        for threads in [1usize, 2, 8] {
+            let _guard = OverrideGuard::set(threads);
+            let parallel: f64 = xs.par_iter().map(|&x| x.sin() * x).sum();
+            prop_assert_eq!(parallel.to_bits(), serial.to_bits(), "threads={}", threads);
+        }
+    }
+
+    /// Parallel `map().reduce()` is bitwise identical to the serial
+    /// map-fold at 1, 2 and 8 threads.
+    #[test]
+    fn map_reduce_bitwise_identical_across_thread_counts(seed in 1u64..10_000, n in 0usize..300) {
+        let xs = wobbly_values(seed, n);
+        let serial = xs.iter().map(|&x| 1.0 / (1.0 + x * x)).fold(0.25f64, |a, b| a + b);
+        for threads in [1usize, 2, 8] {
+            let _guard = OverrideGuard::set(threads);
+            let parallel = xs
+                .par_iter()
+                .map(|&x| 1.0 / (1.0 + x * x))
+                .reduce(|| 0.25, |a, b| a + b);
+            prop_assert_eq!(parallel.to_bits(), serial.to_bits(), "threads={}", threads);
+        }
+    }
+
+    /// Ordered collection: map/filter_map/flat_map keep item order at any
+    /// thread count.
+    #[test]
+    fn adapters_preserve_order_across_thread_counts(n in 0usize..200) {
+        for threads in [1usize, 2, 8] {
+            let _guard = OverrideGuard::set(threads);
+            let mapped: Vec<usize> = (0..n).into_par_iter().map(|x| x * 3).collect();
+            prop_assert_eq!(&mapped, &(0..n).map(|x| x * 3).collect::<Vec<_>>());
+            let filtered: Vec<usize> =
+                (0..n).into_par_iter().filter_map(|x| (x % 3 == 0).then_some(x)).collect();
+            prop_assert_eq!(&filtered, &(0..n).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+            let flat: Vec<usize> =
+                (0..n).into_par_iter().flat_map_iter(|x| [x, x + 1]).collect();
+            prop_assert_eq!(&flat, &(0..n).flat_map(|x| [x, x + 1]).collect::<Vec<_>>());
+        }
+    }
+}
