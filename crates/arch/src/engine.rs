@@ -24,6 +24,7 @@ use crate::faults::{FaultPlan, FaultReport};
 use crate::pe::{ProcessingElement, LOGIT_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use trident_obs as obs;
 use trident_pcm::gst::{GstFault, WriteVerifyPolicy};
 use trident_photonics::ledger::EnergyLedger;
 use trident_photonics::units::{count, EnergyPj, Nanoseconds};
@@ -242,6 +243,7 @@ impl PhotonicMlp {
     /// switch weight programming to the fault-tolerant closed-loop path.
     /// Deterministic in `plan.seed`. Returns what was actually injected.
     pub fn inject_faults(&mut self, plan: &FaultPlan) -> FaultReport {
+        let _span = obs::span("engine.inject_faults");
         let mut rng = StdRng::seed_from_u64(plan.seed);
         let mut report = FaultReport {
             stuck_amorphous: 0,
@@ -278,6 +280,11 @@ impl PhotonicMlp {
                 bank.age(plan.drift_years);
             }
         }
+        obs::add(
+            obs::Counter::FaultInjectEvents,
+            (report.stuck_amorphous + report.stuck_crystalline) as u64,
+        );
+        obs::add(obs::Counter::FaultMaskEvents, report.dead_rings as u64);
         self.fault_tolerant_writes = true;
         report
     }
@@ -409,11 +416,19 @@ impl PhotonicMlp {
         if x.len() != self.dims[0] {
             return Err(ArchError::ShapeMismatch { expected: self.dims[0], got: x.len() });
         }
+        let trace = obs::enabled();
+        let _forward_span = obs::span("engine.forward");
         self.cached_inputs.clear();
         self.cached_logits.clear();
         let mut y: Vec<f64> = x.to_vec();
         let layer_count = self.layer_count();
         for k in 0..layer_count {
+            let _layer_span = if trace {
+                obs::span_owned(format!("forward.layer{k}"))
+            } else {
+                obs::SpanGuard::disabled()
+            };
+            let sim_start = if trace { self.total_elapsed() } else { Nanoseconds(0.0) };
             self.cached_inputs.push(y.clone());
             let (out, inp) = self.layer_dims(k);
             let (rt_n, ct_n) = self.tile_grid(k);
@@ -455,6 +470,11 @@ impl PhotonicMlp {
                     act[lo..hi].copy_from_slice(&fired);
                 }
                 y = act;
+            }
+            if trace {
+                let dt = self.total_elapsed() - sim_start;
+                obs::add_sim_ns(obs::Counter::ForwardLayerSimNs, dt.value());
+                obs::add(obs::Counter::LayersForwarded, 1);
             }
         }
         Ok(y)
@@ -514,6 +534,7 @@ impl PhotonicMlp {
         if label >= classes {
             return Err(ArchError::LabelOutOfRange { label, classes });
         }
+        let _span = obs::span("engine.train_sample");
         let logits = self.try_forward(x)?;
         let (loss, mut delta) = softmax_grad(&logits, label);
         let layer_count = self.layer_count();
@@ -620,6 +641,7 @@ impl PhotonicMlp {
             return Err(ArchError::ShapeMismatch { expected: xs.len(), got: labels.len() });
         }
         assert!(batch_size >= 1);
+        let _span = obs::span("engine.train_batched");
         let layer_count = self.layer_count();
         let (threshold, slope) = self.activation();
         let mut loss_history = Vec::with_capacity(epochs);
@@ -770,6 +792,13 @@ impl PhotonicMlp {
     /// signed MVM of `delta`, apply the latched `f'(h_{k-1})` of the
     /// *previous* layer via its TIA gains.
     fn gradient_vector_layer(&mut self, k: usize, delta: &[f64]) -> Result<Vec<f64>, ArchError> {
+        let trace = obs::enabled();
+        let _span = if trace {
+            obs::span_owned(format!("backward.layer{k}.gradient_vector"))
+        } else {
+            obs::SpanGuard::disabled()
+        };
+        let sim_start = if trace { self.total_elapsed() } else { Nanoseconds(0.0) };
         let (out, inp) = self.layer_dims(k);
         assert_eq!(delta.len(), out);
         self.program_layer_transposed(k);
@@ -799,6 +828,10 @@ impl PhotonicMlp {
         }
         // Restore the forward weights for the next forward pass.
         self.program_layer_forward(k)?;
+        if trace {
+            let dt = self.total_elapsed() - sim_start;
+            obs::add_sim_ns(obs::Counter::BackwardLayerSimNs, dt.value());
+        }
         // Hadamard with f'(h_{k-1}) from the previous layer's LDSUs.
         let (prev_out, _) = self.layer_dims(k - 1);
         assert_eq!(prev_out, inp);
@@ -808,6 +841,13 @@ impl PhotonicMlp {
     /// Table II outer-product mode for layer `k`: `δW = δh ⊗ y_{k-1}`,
     /// tile by tile, returned row-major.
     fn outer_product_layer(&mut self, k: usize, delta: &[f64]) -> Vec<f64> {
+        let trace = obs::enabled();
+        let _span = if trace {
+            obs::span_owned(format!("backward.layer{k}.outer_product"))
+        } else {
+            obs::SpanGuard::disabled()
+        };
+        let sim_start = if trace { self.total_elapsed() } else { Nanoseconds(0.0) };
         let (out, inp) = self.layer_dims(k);
         assert_eq!(delta.len(), out);
         let y = self.cached_inputs[k].clone();
@@ -830,6 +870,10 @@ impl PhotonicMlp {
                     }
                 }
             }
+        }
+        if trace {
+            let dt = self.total_elapsed() - sim_start;
+            obs::add_sim_ns(obs::Counter::BackwardLayerSimNs, dt.value());
         }
         grad
     }

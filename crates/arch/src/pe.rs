@@ -32,6 +32,7 @@ use trident_photonics::laser::EoModulator;
 use trident_photonics::ledger::EnergyLedger;
 use trident_photonics::noise::NoiseModel;
 use trident_photonics::units::{EnergyPj, Nanoseconds};
+use trident_obs as obs;
 
 /// The three Table II operating modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -171,6 +172,8 @@ impl ProcessingElement {
         if energy.value() > 0.0 {
             self.energy.charge("gst write", energy);
             self.elapsed += time;
+            obs::add(obs::Counter::PcmWrites, 1);
+            obs::add_pj(obs::Counter::PcmWriteFj, energy.value());
         }
     }
 
@@ -188,7 +191,11 @@ impl ProcessingElement {
         if report.energy.value() > 0.0 {
             self.energy.charge("gst write", report.energy);
             self.elapsed += report.time;
+            obs::add(obs::Counter::PcmWrites, 1);
+            obs::add_pj(obs::Counter::PcmWriteFj, report.energy.value());
         }
+        obs::add(obs::Counter::FaultRemapEvents, report.remapped as u64);
+        obs::add(obs::Counter::FaultMaskEvents, report.masked as u64);
         Ok(report)
     }
 
@@ -297,6 +304,8 @@ impl ProcessingElement {
         if energy.value() > 0.0 {
             self.energy.charge("gst write", energy);
             self.elapsed += time;
+            obs::add(obs::Counter::PcmWrites, 1);
+            obs::add_pj(obs::Counter::PcmWriteFj, energy.value());
         }
         let readout: Vec<f64> = (0..y.len()).map(|c| self.bank.ring_readout(0, c)).collect();
         let mut out = Vec::with_capacity(dh.len());
@@ -310,12 +319,23 @@ impl ProcessingElement {
     fn charge_symbol(&mut self, active_channels: usize) {
         self.energy
             .charge("eo modulation", self.modulator.encode_energy(active_channels));
-        self.energy.charge(
-            "mrr read",
-            EnergyPj(20.0) * (self.rows() * self.cols()) as f64 * self.symbol_time.value()
-                / 300.0,
-        );
+        let read_energy = EnergyPj(20.0) * (self.rows() * self.cols()) as f64
+            * self.symbol_time.value()
+            / 300.0;
+        self.energy.charge("mrr read", read_energy);
         self.elapsed += self.symbol_time;
+        if obs::enabled() {
+            let rings = (self.rows() * self.cols()) as u64;
+            obs::add(obs::Counter::MacOps, rings);
+            obs::add(obs::Counter::PcmReads, rings);
+            obs::add_pj(obs::Counter::PcmReadFj, read_energy.value());
+            // Receiver chain: every row's BPD+TIA is live for the symbol.
+            let receiver = self
+                .tias
+                .iter()
+                .fold(EnergyPj::ZERO, |acc, tia| acc + tia.power.for_duration(self.symbol_time));
+            obs::add_pj(obs::Counter::ReceiverFj, receiver.value());
+        }
     }
 
     /// Energy ledger of everything this PE has done.

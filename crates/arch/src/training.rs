@@ -51,6 +51,11 @@ pub fn trident_training_time(
     batch: usize,
 ) -> TrainingTime {
     assert!(batch >= 1, "batch must be at least 1");
+    let _span = if trident_obs::enabled() {
+        trident_obs::span_owned(format!("training.time.{}", model.name))
+    } else {
+        trident_obs::SpanGuard::disabled()
+    };
     let analysis = perf.analyze(model);
     let stream_ns: f64 = analysis.layers.iter().map(|l| l.stream_latency.value()).sum();
     // Unamortized tune time: reconstruct from the per-layer amortized

@@ -5,6 +5,12 @@
 //! in parallel on the executor and print in paper order afterwards. The
 //! ordered collect keeps stdout byte-identical to the sequential run at
 //! any `TRIDENT_THREADS` setting.
+//!
+//! With `TRIDENT_TRACE=1` the run additionally writes a Perfetto-loadable
+//! chrome-trace JSON (`TRIDENT_TRACE_OUT`, default `trident_trace.json`)
+//! and prints an obs summary — both on **stderr** / disk only, so stdout
+//! stays byte-identical to the untraced run (pinned by
+//! `tests/determinism_trace.rs`).
 use rayon::prelude::*;
 use trident::experiments as ex;
 
@@ -30,5 +36,15 @@ fn main() {
     let sections: Vec<String> = renderers.into_par_iter().map(|render| render()).collect();
     for section in sections {
         println!("{section}");
+    }
+    if trident::obs::enabled() {
+        match trident::trace::write_chrome_trace() {
+            Ok(Some(path)) => {
+                eprintln!("{}", trident::obs::export::human_summary(&trident::obs::snapshot()));
+                eprintln!("chrome trace written to {} (load at ui.perfetto.dev)", path.display());
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("failed to write chrome trace: {e}"),
+        }
     }
 }

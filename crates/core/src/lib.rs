@@ -32,6 +32,7 @@
 //! | [`workload`] | the five CNN topologies + weight-stationary dataflow |
 //! | [`arch`] | Trident PEs, in-situ training engine, perf/power/area |
 //! | [`baselines`] | DEAP-CNN, CrossLight, PIXEL, Xavier, TB96-AI, Coral |
+//! | [`obs`] | spans, typed counters, Perfetto/JSON exporters ([`trace`]) |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -40,12 +41,14 @@
 pub use trident_arch as arch;
 pub use trident_baselines as baselines;
 pub use trident_nn as nn;
+pub use trident_obs as obs;
 pub use trident_pcm as pcm;
 pub use trident_photonics as photonics;
 pub use trident_workload as workload;
 
 pub mod experiments;
 pub mod report;
+pub mod trace;
 
 pub use arch::{PhotonicMlp, TridentConfig, TridentPerfModel};
 pub use baselines::AcceleratorModel;

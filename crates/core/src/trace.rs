@@ -1,0 +1,91 @@
+//! The observability bridge: glue between [`trident_obs`] and the rest
+//! of the workspace.
+//!
+//! Two things live here rather than in `trident-obs` itself:
+//!
+//! * [`sync_executor_gauges`] mirrors the executor tallies that
+//!   `vendor/rayon` keeps as plain process atomics (that crate is a
+//!   dependency-free stand-in for crates.io `rayon`, so it cannot depend
+//!   on `trident-obs`) into the obs gauge counters.
+//! * [`write_chrome_trace`] snapshots the global recorder and writes the
+//!   Perfetto-loadable chrome-trace JSON to `TRIDENT_TRACE_OUT`
+//!   (default `trident_trace.json`), returning the path written.
+//!
+//! Both are inert when `TRIDENT_TRACE` is off: the gauges stay zero and
+//! no file is written, so default-mode runs touch nothing.
+
+use std::io;
+use std::path::PathBuf;
+use trident_obs as obs;
+
+/// Default output path for [`write_chrome_trace`].
+pub const DEFAULT_TRACE_PATH: &str = "trident_trace.json";
+
+/// Copy the executor's lifetime tallies into the obs gauge counters.
+/// Call once, after the instrumented work, before exporting. A no-op
+/// when tracing is off.
+pub fn sync_executor_gauges() {
+    if !obs::enabled() {
+        return;
+    }
+    let stats = rayon::pool::stats();
+    obs::store(obs::Counter::ExecutorParallelRegions, stats.parallel_regions);
+    obs::store(obs::Counter::ExecutorSequentialRegions, stats.sequential_regions);
+    obs::store(obs::Counter::ExecutorChunksClaimed, stats.chunks_claimed);
+    obs::store(obs::Counter::ExecutorThreadsSpawned, stats.threads_spawned);
+}
+
+/// Where [`write_chrome_trace`] will write (`TRIDENT_TRACE_OUT`,
+/// default [`DEFAULT_TRACE_PATH`]).
+pub fn trace_output_path() -> PathBuf {
+    std::env::var_os("TRIDENT_TRACE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(DEFAULT_TRACE_PATH))
+}
+
+/// Sync the executor gauges, snapshot the global recorder, and write the
+/// chrome-trace JSON to [`trace_output_path`]. Returns `Ok(None)` when
+/// tracing is off (nothing written), `Ok(Some(path))` on success.
+pub fn write_chrome_trace() -> io::Result<Option<PathBuf>> {
+    if !obs::enabled() {
+        return Ok(None);
+    }
+    sync_executor_gauges();
+    let snap = obs::snapshot();
+    let path = trace_output_path();
+    std::fs::write(&path, obs::export::to_chrome_trace(&snap))?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enabled override and the executor tallies are process-global,
+    // so everything lives in one #[test] (the determinism-test pattern).
+    #[test]
+    fn bridge_is_inert_when_disabled_and_mirrors_when_enabled() {
+        obs::set_enabled_override(Some(false));
+        sync_executor_gauges();
+        assert!(write_chrome_trace().expect("io").is_none(), "off → nothing written");
+        assert_eq!(obs::snapshot().counters.get(obs::Counter::ExecutorParallelRegions), 0);
+
+        // Drive at least one parallel region through the executor, then
+        // check the gauges mirror the pool's own tallies exactly.
+        obs::set_enabled_override(Some(true));
+        rayon::pool::set_thread_override(Some(2));
+        let doubled = rayon::pool::execute((0..64).collect::<Vec<u32>>(), |_, x| x * 2);
+        assert_eq!(doubled.len(), 64);
+        rayon::pool::set_thread_override(None);
+        sync_executor_gauges();
+        let stats = rayon::pool::stats();
+        let snap = obs::snapshot();
+        assert!(stats.parallel_regions >= 1);
+        assert_eq!(snap.counters.get(obs::Counter::ExecutorParallelRegions), stats.parallel_regions);
+        assert_eq!(snap.counters.get(obs::Counter::ExecutorChunksClaimed), stats.chunks_claimed);
+        assert_eq!(snap.counters.get(obs::Counter::ExecutorThreadsSpawned), stats.threads_spawned);
+
+        obs::reset();
+        obs::set_enabled_override(None);
+    }
+}

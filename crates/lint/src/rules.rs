@@ -78,6 +78,7 @@ pub fn is_unit_bearing(rel: &str) -> bool {
     let p = rel.replace('\\', "/");
     p.starts_with("crates/photonics/src/")
         || p.starts_with("crates/baselines/src/")
+        || p.starts_with("crates/obs/src/")
         || matches!(
             p.as_str(),
             "crates/arch/src/power.rs"

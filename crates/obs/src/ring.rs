@@ -1,0 +1,136 @@
+//! The bounded event store.
+//!
+//! A fixed-capacity buffer of completed span events behind one short
+//! critical section ("lock-free-enough": the hot path — counters — is
+//! pure atomics; span completion takes an uncontended `Mutex` for a
+//! `Vec::push`). When the buffer fills, new events are **counted, not
+//! silently dropped**: the overflow tally lives next to the events and
+//! travels with every snapshot, so an exporter can always report exactly
+//! how much of the run it did not see. Keep-first semantics preserve the
+//! head of the trace (initialization and the first iterations), which is
+//! where layer structure is most legible.
+
+use crate::span::Event;
+use std::sync::Mutex;
+
+/// Default event capacity when `TRIDENT_TRACE_CAP` is unset.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+struct RingInner {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+/// Fixed-capacity event buffer with overflow accounting.
+pub struct EventRing {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+/// Lock, riding out poisoning: a panicking span holder cannot leave the
+/// event vector in a torn state (push is the only mutation), so the
+/// guard is always safe to recover.
+fn lock(inner: &Mutex<RingInner>) -> std::sync::MutexGuard<'_, RingInner> {
+    match inner.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner { events: Vec::new(), dropped: 0 }),
+        }
+    }
+
+    /// Maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Record one event. Returns `false` when the ring was full and the
+    /// event was tallied into the overflow count instead.
+    pub fn push(&self, event: Event) -> bool {
+        let mut inner = lock(&self.inner);
+        if inner.events.len() < self.capacity {
+            inner.events.push(event);
+            true
+        } else {
+            inner.dropped += 1;
+            false
+        }
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).events.len()
+    }
+
+    /// True when no event has been recorded (dropped ones included).
+    pub fn is_empty(&self) -> bool {
+        let inner = lock(&self.inner);
+        inner.events.is_empty() && inner.dropped == 0
+    }
+
+    /// Events that arrived after the ring was full.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.inner).dropped
+    }
+
+    /// Copy out the retained events and the overflow tally.
+    pub fn snapshot(&self) -> (Vec<Event>, u64) {
+        let inner = lock(&self.inner);
+        (inner.events.clone(), inner.dropped)
+    }
+
+    /// Clear the ring and the overflow tally.
+    pub fn reset(&self) {
+        let mut inner = lock(&self.inner);
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn ev(name: &'static str) -> Event {
+        Event { name: Cow::Borrowed(name), start_ns: 0, dur_ns: 1, tid: 0, depth: 0 }
+    }
+
+    #[test]
+    fn fills_then_counts_overflow() {
+        let ring = EventRing::new(3);
+        for _ in 0..5 {
+            ring.push(ev("x"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(dropped, 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let ring = EventRing::new(1);
+        ring.push(ev("a"));
+        ring.push(ev("b"));
+        ring.reset();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = EventRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        assert!(ring.push(ev("kept")));
+        assert!(!ring.push(ev("counted")));
+    }
+}

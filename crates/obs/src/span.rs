@@ -1,0 +1,159 @@
+//! Hierarchical spans as RAII guards.
+//!
+//! A [`SpanGuard`] captures its start timestamp and thread-local nesting
+//! depth when created and records one **complete** event (start + dur)
+//! when dropped. Recording only finished intervals means the exported
+//! trace can never contain an orphan exit or an unmatched begin — the
+//! well-formedness property the obs proptests exercise. Depth tracking is
+//! thread-local, so concurrently tracing threads cannot corrupt each
+//! other's nesting.
+
+use crate::Recorder;
+use std::borrow::Cow;
+use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span label (static for hot paths, owned for per-layer names).
+    pub name: Cow<'static, str>,
+    /// Start timestamp, clock nanoseconds.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-thread ordinal (0 = first thread to trace).
+    pub tid: u32,
+    /// Nesting depth at entry (0 = top level on its thread).
+    pub depth: u32,
+}
+
+/// Process-wide allocator of small thread ordinals.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static TID: OnceCell<u32> = const { OnceCell::new() };
+}
+
+/// This thread's stable small ordinal (assigned on first use).
+pub fn thread_ordinal() -> u32 {
+    TID.with(|t| *t.get_or_init(|| NEXT_TID.fetch_add(1, Ordering::Relaxed)))
+}
+
+/// This thread's current span nesting depth (0 outside all spans). The
+/// obs proptests use this to prove RAII nesting is always well-formed.
+pub fn current_depth() -> u32 {
+    DEPTH.with(Cell::get)
+}
+
+struct ActiveSpan<'a> {
+    recorder: &'a Recorder,
+    name: Cow<'static, str>,
+    start_ns: u64,
+    tid: u32,
+    depth: u32,
+}
+
+/// RAII guard for one span. Dropping it records the completed event; a
+/// disabled guard (tracing off) is a no-op carrying no data.
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn begin(recorder: &'a Recorder, name: Cow<'static, str>) -> Self {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v.saturating_add(1));
+            v
+        });
+        Self {
+            active: Some(ActiveSpan {
+                recorder,
+                name,
+                start_ns: recorder.now_ns(),
+                tid: thread_ordinal(),
+                depth,
+            }),
+        }
+    }
+
+    /// The inert guard handed out when tracing is off.
+    pub fn disabled() -> Self {
+        Self { active: None }
+    }
+
+    /// Whether this guard will record an event on drop.
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end_ns = span.recorder.now_ns();
+        span.recorder.ring().push(Event {
+            name: span.name,
+            start_ns: span.start_ns,
+            dur_ns: end_ns.saturating_sub(span.start_ns),
+            tid: span.tid,
+            depth: span.depth,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::Recorder;
+    use std::sync::Arc;
+
+    #[test]
+    fn nested_guards_record_depths_and_durations() {
+        let clock = Arc::new(ManualClock::new());
+        let rec = Recorder::new(16, clock.clone());
+        {
+            let _outer = rec.span("outer");
+            clock.advance_ns(10);
+            {
+                let _inner = rec.span("inner");
+                clock.advance_ns(5);
+            }
+            clock.advance_ns(1);
+        }
+        assert_eq!(current_depth(), 0);
+        let snap = rec.snapshot();
+        // Inner drops first (RAII), so it is recorded first.
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].name, "inner");
+        assert_eq!(snap.events[0].depth, 1);
+        assert_eq!(snap.events[0].dur_ns, 5);
+        assert_eq!(snap.events[1].name, "outer");
+        assert_eq!(snap.events[1].depth, 0);
+        assert_eq!(snap.events[1].dur_ns, 16);
+    }
+
+    #[test]
+    fn disabled_guard_records_nothing() {
+        let rec = Recorder::new(16, Arc::new(ManualClock::new()));
+        {
+            let g = SpanGuard::disabled();
+            assert!(!g.is_active());
+        }
+        assert!(rec.snapshot().events.is_empty());
+        assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn thread_ordinals_are_stable_per_thread() {
+        let a = thread_ordinal();
+        let b = thread_ordinal();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(thread_ordinal).join().expect("thread");
+        assert_ne!(a, other);
+    }
+}

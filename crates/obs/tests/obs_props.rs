@@ -1,0 +1,121 @@
+//! Property tests for the obs algebra (PR 5 satellite):
+//!
+//! * counter-snapshot merge is associative and commutative with the
+//!   all-zero snapshot as identity (the wrapping-`u64` design exists
+//!   precisely to make this provable);
+//! * RAII span nesting is always well-formed — depth returns to its
+//!   entry value after any tree of guards, and recorded events never
+//!   claim a deeper nesting than the guards that produced them;
+//! * the ring buffer never loses the overflow count: for any capacity
+//!   and push sequence, `retained + dropped == pushed`.
+
+#![allow(clippy::unwrap_used, clippy::cast_lossless)]
+
+use proptest::prelude::*;
+use std::borrow::Cow;
+use std::sync::Arc;
+use trident_obs::clock::ManualClock;
+use trident_obs::ring::EventRing;
+use trident_obs::{current_depth, Counter, CounterSnapshot, Event, Recorder};
+
+fn snap_from(values: &[u64]) -> CounterSnapshot {
+    let mut all = [0u64; Counter::COUNT];
+    for (slot, &v) in all.iter_mut().zip(values) {
+        *slot = v;
+    }
+    CounterSnapshot::from_values(all)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..u64::MAX, Counter::COUNT),
+        b in proptest::collection::vec(0u64..u64::MAX, Counter::COUNT),
+    ) {
+        let (sa, sb) = (snap_from(&a), snap_from(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, Counter::COUNT),
+        b in proptest::collection::vec(0u64..u64::MAX, Counter::COUNT),
+        c in proptest::collection::vec(0u64..u64::MAX, Counter::COUNT),
+    ) {
+        let (sa, sb, sc) = (snap_from(&a), snap_from(&b), snap_from(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_identity_is_zero(
+        a in proptest::collection::vec(0u64..u64::MAX, Counter::COUNT),
+    ) {
+        let sa = snap_from(&a);
+        prop_assert_eq!(sa.merge(&CounterSnapshot::zero()), sa);
+        prop_assert_eq!(CounterSnapshot::zero().merge(&sa), sa);
+    }
+
+    #[test]
+    fn span_nesting_is_well_formed(depths in proptest::collection::vec(1usize..6, 1..8)) {
+        // Each element opens a chain of `d` nested guards and drops them
+        // all; depth must return to the entry value every time, and no
+        // recorded event may claim a depth ≥ its chain length.
+        let rec = Recorder::new(1024, Arc::new(ManualClock::new()));
+        let entry_depth = current_depth();
+        for &d in &depths {
+            let mut guards = Vec::with_capacity(d);
+            for _ in 0..d {
+                guards.push(rec.span("chain"));
+            }
+            prop_assert_eq!(current_depth() as usize, entry_depth as usize + d);
+            drop(guards);
+            prop_assert_eq!(current_depth(), entry_depth);
+        }
+        let snap = rec.snapshot();
+        let expected: usize = depths.iter().sum();
+        prop_assert_eq!(snap.events.len(), expected);
+        prop_assert_eq!(snap.dropped_events, 0);
+        // Every chain of d guards records depths entry..entry+d, each
+        // exactly once per chain — no orphan exits, no double-closes.
+        let max_d = *depths.iter().max().unwrap() as u32;
+        for e in &snap.events {
+            prop_assert!(e.depth >= entry_depth && e.depth < entry_depth + max_d);
+        }
+        for (depth_above, want) in (0..max_d).map(|k| {
+            (k, depths.iter().filter(|&&d| d as u32 > k).count())
+        }) {
+            let got = snap
+                .events
+                .iter()
+                .filter(|e| e.depth == entry_depth + depth_above)
+                .count();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn ring_overflow_never_loses_the_count(capacity in 0usize..24, pushes in 0usize..96) {
+        let ring = EventRing::new(capacity);
+        let mut accepted = 0u64;
+        for i in 0..pushes {
+            let ok = ring.push(Event {
+                name: Cow::Borrowed("p"),
+                start_ns: i as u64,
+                dur_ns: 1,
+                tid: 0,
+                depth: 0,
+            });
+            if ok {
+                accepted += 1;
+            }
+        }
+        let (events, dropped) = ring.snapshot();
+        prop_assert_eq!(events.len() as u64, accepted);
+        prop_assert_eq!(events.len() as u64 + dropped, pushes as u64);
+        prop_assert!(events.len() <= ring.capacity());
+        // Keep-first: the retained events are exactly the first pushes.
+        for (k, e) in events.iter().enumerate() {
+            prop_assert_eq!(e.start_ns, k as u64);
+        }
+    }
+}

@@ -361,12 +361,15 @@ impl GstCell {
             energy += self.params.read_energy;
             if (self.crystallinity - crystallinity).abs() <= tolerance {
                 self.level = level;
+                trident_obs::add(trident_obs::Counter::PcmVerifyAttempts, u64::from(attempt));
                 return Ok(WriteReport { pulses: attempt, energy, time, achieved: self.crystallinity });
             }
         }
         // The cell is left mid-trajectory; record the attempted level so
         // the readout reflects what the hardware would report.
         self.level = level;
+        trident_obs::add(trident_obs::Counter::PcmVerifyAttempts, u64::from(policy.max_attempts));
+        trident_obs::add(trident_obs::Counter::PcmVerifyFailures, 1);
         Err(PcmError::WriteVerifyFailed {
             level,
             target: crystallinity,

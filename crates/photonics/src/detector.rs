@@ -17,6 +17,7 @@ use crate::noise::NoiseModel;
 use crate::units::{AreaUm2, PowerMw};
 use crate::wdm::WdmSignal;
 use serde::{Deserialize, Serialize};
+use trident_obs as obs;
 
 /// Elementary photodiode: optical power in, photocurrent out.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -63,6 +64,7 @@ impl BalancedPhotodetector {
     /// on each diode (incoherent power addition — each channel is a
     /// distinct wavelength).
     pub fn detect_ma(&self, drop_rail: &WdmSignal, through_rail: &WdmSignal) -> f64 {
+        obs::add(obs::Counter::DetectorReadouts, 1);
         self.differential_ma(drop_rail.total_power(), through_rail.total_power())
     }
 
@@ -112,6 +114,7 @@ impl TransimpedanceAmplifier {
     /// Output voltage (volts) for an input current in mA.
     #[inline]
     pub fn amplify_v(&self, current_ma: f64) -> f64 {
+        obs::add(obs::Counter::TiaAmplifications, 1);
         current_ma * self.transimpedance_kohm * self.programmable_gain
     }
 

@@ -135,7 +135,9 @@ impl TuningProfile {
         if self.non_volatile {
             EnergyPj::ZERO
         } else {
-            self.hold_power.for_duration(t)
+            let e = self.hold_power.for_duration(t);
+            trident_obs::add_pj(trident_obs::Counter::RingTuningFj, e.value());
+            e
         }
     }
 

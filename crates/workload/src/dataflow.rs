@@ -89,8 +89,18 @@ impl DataflowModel {
     /// filter-map keeps layer order, so mappings are identical at any
     /// thread count.
     pub fn map_model(&self, model: &ModelSpec) -> ModelMapping {
+        let _span = if trident_obs::enabled() {
+            trident_obs::span_owned(format!("dataflow.map_model.{}", model.name))
+        } else {
+            trident_obs::SpanGuard::disabled()
+        };
         let layers: Vec<LayerMapping> =
             model.layers.par_iter().filter_map(|l| self.map_layer(l)).collect();
+        trident_obs::add(trident_obs::Counter::DataflowLayersMapped, layers.len() as u64);
+        trident_obs::add(
+            trident_obs::Counter::DataflowTilesMapped,
+            layers.iter().map(|l| l.tiles).sum(),
+        );
         ModelMapping { model_name: model.name.clone(), layers }
     }
 }

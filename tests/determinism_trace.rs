@@ -1,0 +1,88 @@
+//! Tracing-invariance regression (PR 5): every paper artifact must be
+//! **byte-identical** with `TRIDENT_TRACE` tracing on or off. The obs
+//! layer guarantees this by construction — instrumentation observes
+//! energies and latencies the model already computed and never feeds a
+//! value back into the arithmetic — and this test pins the guarantee at
+//! the experiment layer, where a violation would mean "measuring the
+//! run changed the run".
+//!
+//! The trace switch is flipped with `obs::set_enabled_override` (the
+//! in-process equivalent of setting the env var, which is only read once
+//! per process). The override is process-global, so everything lives in
+//! one `#[test]` — the same pattern as `determinism_threads.rs`.
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
+
+use trident::arch::fidelity;
+use trident::experiments as ex;
+use trident::obs;
+use trident::workload::dataflow::DataflowModel;
+use trident::workload::zoo;
+
+fn with_trace<T>(on: bool, run: impl Fn() -> T) -> T {
+    obs::set_enabled_override(Some(on));
+    let result = run();
+    obs::set_enabled_override(None);
+    result
+}
+
+/// One named `repro_all` section renderer.
+type Section = (&'static str, fn() -> String);
+
+#[test]
+fn artifacts_identical_with_tracing_on_and_off() {
+    // Every repro_all section — the full stdout of the reproduction
+    // binary is the concatenation of these renders, so byte-identity
+    // here is byte-identity of `TRIDENT_TRACE=1 repro_all` stdout.
+    let sections: Vec<Section> = vec![
+        ("table1", ex::table1::render),
+        ("table2", ex::table2::render),
+        ("table3", ex::table3::render),
+        ("table4", ex::table4::render),
+        ("table5", ex::table5::render),
+        ("fig3", ex::fig3::render),
+        ("fig4", ex::fig4::render),
+        ("fig5", ex::fig5::render),
+        ("fig6", ex::fig6::render),
+        ("ablation.tuning", ex::ablations::tuning::render),
+        ("ablation.adc", ex::ablations::adc::render),
+        ("ablation.scale", ex::ablations::scale::render),
+        ("ablation.bits", || ex::ablations::bits::render(4, 8)),
+        ("ablation.dfa_vs_bp", || ex::ablations::dfa_vs_bp::render(3, 8)),
+        ("ablation.variation", || ex::ablations::variation::render(3, 2)),
+    ];
+    for (name, render) in &sections {
+        assert_eq!(
+            with_trace(false, render),
+            with_trace(true, render),
+            "section {name} drifted under tracing"
+        );
+    }
+
+    // Bit-level check on the float-heavy Monte-Carlo artifact.
+    let untraced = with_trace(false, || fidelity::measure(16, 8, 12, true, 42));
+    let traced = with_trace(true, || fidelity::measure(16, 8, 12, true, 42));
+    assert_eq!(untraced.rms_error.to_bits(), traced.rms_error.to_bits());
+    assert_eq!(untraced.max_error.to_bits(), traced.max_error.to_bits());
+    assert_eq!(untraced.effective_bits.to_bits(), traced.effective_bits.to_bits());
+
+    // Dataflow mapping (instrumented with span + counters).
+    let df = DataflowModel::trident_paper();
+    let resnet = zoo::resnet50();
+    assert_eq!(
+        with_trace(false, || df.map_model(&resnet)),
+        with_trace(true, || df.map_model(&resnet)),
+        "dataflow mapping drifted under tracing"
+    );
+
+    // And the traced runs actually observed something — this test must
+    // not pass vacuously with dead instrumentation.
+    let snap = obs::snapshot();
+    assert!(snap.counters.get(obs::Counter::MacOps) > 0, "tracing recorded no MACs");
+    assert!(
+        snap.counters.get(obs::Counter::DataflowLayersMapped) > 0,
+        "tracing recorded no dataflow activity"
+    );
+    assert!(!snap.events.is_empty(), "tracing recorded no spans");
+    obs::reset();
+}

@@ -1,0 +1,233 @@
+//! Golden-snapshot regression harness (PR 5).
+//!
+//! Each test serializes one paper artifact to a **stable JSON** document
+//! (floats printed with `{:?}` — Rust's shortest round-trip form, so a
+//! value reproduces byte-for-byte or the diff shows exactly where it
+//! moved) and compares it against a checked-in snapshot under
+//! `tests/golden/`. On mismatch the failure message is a readable
+//! unified diff, golden on the `-` side, the fresh run on the `+` side.
+//!
+//! To accept intentional changes, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_snapshots
+//! ```
+//!
+//! and commit the rewritten `tests/golden/*.json` alongside the model
+//! change that motivated them.
+
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use trident::arch::fidelity;
+use trident::experiments as ex;
+use trident::workload::dataflow::DataflowModel;
+use trident::workload::zoo;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// A minimal unified diff (3 lines of context) over an LCS of lines.
+/// Snapshots are a few hundred lines at most, so the quadratic DP table
+/// is immaterial.
+fn unified_diff(golden: &str, actual: &str) -> String {
+    let a: Vec<&str> = golden.lines().collect();
+    let b: Vec<&str> = actual.lines().collect();
+    // LCS table: lcs[i][j] = length of LCS of a[i..] and b[j..].
+    let mut lcs = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in (0..a.len()).rev() {
+        for j in (0..b.len()).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    // Walk the table into an edit script of (tag, line) pairs.
+    let (mut i, mut j) = (0, 0);
+    let mut script: Vec<(char, &str)> = Vec::new();
+    while i < a.len() && j < b.len() {
+        if a[i] == b[j] {
+            script.push((' ', a[i]));
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            script.push(('-', a[i]));
+            i += 1;
+        } else {
+            script.push(('+', b[j]));
+            j += 1;
+        }
+    }
+    script.extend(a[i..].iter().map(|&l| ('-', l)));
+    script.extend(b[j..].iter().map(|&l| ('+', l)));
+
+    // Group changed runs into hunks with up to 3 context lines each side.
+    const CTX: usize = 3;
+    let changed: Vec<usize> =
+        script.iter().enumerate().filter(|(_, (t, _))| *t != ' ').map(|(k, _)| k).collect();
+    if changed.is_empty() {
+        return String::from("(no line-level differences — whitespace or trailing newline)");
+    }
+    let mut out = String::from("--- golden\n+++ actual\n");
+    let mut hunk_start = changed[0].saturating_sub(CTX);
+    let mut hunk_end = (changed[0] + CTX + 1).min(script.len());
+    let flush = |start: usize, end: usize, out: &mut String| {
+        // Line numbers for the @@ header (1-based, count per side).
+        let old_start = script[..start].iter().filter(|(t, _)| *t != '+').count() + 1;
+        let new_start = script[..start].iter().filter(|(t, _)| *t != '-').count() + 1;
+        let old_len = script[start..end].iter().filter(|(t, _)| *t != '+').count();
+        let new_len = script[start..end].iter().filter(|(t, _)| *t != '-').count();
+        let _ = writeln!(out, "@@ -{old_start},{old_len} +{new_start},{new_len} @@");
+        for (tag, line) in &script[start..end] {
+            let _ = writeln!(out, "{tag}{line}");
+        }
+    };
+    for &k in &changed[1..] {
+        let start = k.saturating_sub(CTX);
+        if start <= hunk_end {
+            hunk_end = (k + CTX + 1).min(script.len());
+        } else {
+            flush(hunk_start, hunk_end, &mut out);
+            hunk_start = start;
+            hunk_end = (k + CTX + 1).min(script.len());
+        }
+    }
+    flush(hunk_start, hunk_end, &mut out);
+    out
+}
+
+/// Compare `actual` against the named snapshot, regenerating it when
+/// `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run UPDATE_GOLDEN=1 cargo test \
+             --test golden_snapshots to create it",
+            path.display()
+        )
+    });
+    assert!(
+        golden == actual,
+        "golden snapshot {name} drifted:\n{}",
+        unified_diff(&golden, actual)
+    );
+}
+
+fn table4_json() -> String {
+    let mut out = String::from("{\n  \"table\": \"IV\",\n  \"rows\": [\n");
+    let rows = ex::table4::run();
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"tops\": {:?}, \"watts\": {:?}, \
+                 \"tops_per_watt\": {:?}, \"supports_training\": {}}}",
+                r.name, r.tops, r.watts, r.tops_per_watt, r.supports_training
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn table5_json() -> String {
+    let mut out = String::from("{\n  \"table\": \"V\",\n  \"rows\": [\n");
+    let rows = ex::table5::run();
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"model\": \"{}\", \"xavier_seconds\": {:?}, \
+                 \"trident_seconds\": {:?}, \"percent_change\": {:?}}}",
+                r.model, r.xavier_seconds, r.trident_seconds, r.percent_change
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn fidelity_json() -> String {
+    // The same seeded configuration the thread-determinism test pins, so
+    // one golden file guards both the value and its thread-invariance.
+    let rep = fidelity::measure(16, 8, 12, true, 42);
+    format!(
+        "{{\n  \"artifact\": \"fidelity_enob\",\n  \"trials\": {},\n  \
+         \"rms_error\": {:?},\n  \"max_error\": {:?},\n  \"effective_bits\": {:?}\n}}\n",
+        rep.trials, rep.rms_error, rep.max_error, rep.effective_bits
+    )
+}
+
+fn dataflow_json() -> String {
+    let dataflow = DataflowModel::trident_paper();
+    let mut out = String::from("{\n  \"artifact\": \"dataflow_map\",\n  \"models\": [\n");
+    let body: Vec<String> = zoo::paper_models()
+        .iter()
+        .map(|model| {
+            let m = dataflow.map_model(model);
+            format!(
+                "    {{\"model\": \"{}\", \"layers\": {}, \"total_macs\": {}, \
+                 \"total_tiles\": {}, \"total_passes\": {}, \"total_weight_writes\": {}}}",
+                m.model_name,
+                m.layers.len(),
+                m.total_macs(),
+                m.total_tiles(),
+                m.total_passes(),
+                m.total_weight_writes()
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[test]
+fn golden_table4() {
+    check_golden("table4.json", &table4_json());
+}
+
+#[test]
+fn golden_table5() {
+    check_golden("table5.json", &table5_json());
+}
+
+#[test]
+fn golden_fidelity_enob() {
+    check_golden("fidelity_enob.json", &fidelity_json());
+}
+
+#[test]
+fn golden_dataflow_map() {
+    check_golden("dataflow_map.json", &dataflow_json());
+}
+
+#[test]
+fn unified_diff_is_readable() {
+    let golden = "a\nb\nc\nd\ne\nf\ng\n";
+    let actual = "a\nb\nc\nD\ne\nf\ng\n";
+    let d = unified_diff(golden, actual);
+    assert!(d.contains("--- golden"), "{d}");
+    assert!(d.contains("-d"), "{d}");
+    assert!(d.contains("+D"), "{d}");
+    assert!(d.contains("@@ -1,7 +1,7 @@"), "{d}");
+    // Unchanged far-away lines stay out of the hunk.
+    let golden2 = "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n";
+    let actual2 = "1\n2\n3\n4\n5\n6\n7\n8\n9\nX\n";
+    let d2 = unified_diff(golden2, actual2);
+    assert!(!d2.contains(" 1\n"), "leading context should be clipped: {d2}");
+    assert!(d2.contains("-10"), "{d2}");
+    assert!(d2.contains("+X"), "{d2}");
+}

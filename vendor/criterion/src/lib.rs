@@ -32,14 +32,21 @@ const MEASURE_BUDGET: Duration = Duration::from_millis(40);
 /// Hard cap on iterations, so micro-benches don't spin for ever.
 const MAX_ITERS: u64 = 10_000;
 
-/// One flushed measurement.
-#[derive(Debug, Clone)]
-struct BenchRecord {
-    id: String,
-    median_ns: f64,
-    iters_per_sec: f64,
-    samples: usize,
-    iters: u64,
+/// One bench measurement as persisted to `BENCH_results.json`. Public so
+/// the concurrent-merge regression test can drive [`merge_results_into`]
+/// with synthetic records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Bench id (`group/function[/parameter]`).
+    pub id: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Derived throughput (`1e9 / median_ns`).
+    pub iters_per_sec: f64,
+    /// Timed sample count.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
 }
 
 /// Process-global registry of measurements, flushed by `criterion_main!`.
@@ -231,17 +238,76 @@ fn output_path() -> std::path::PathBuf {
         .unwrap_or_else(|| std::path::PathBuf::from("BENCH_results.json"))
 }
 
-/// Write the registry to `BENCH_results.json`, merging with any existing
-/// file by bench id (this process's measurements win). Called by
-/// `criterion_main!` after all groups; a write failure is reported to
-/// stderr, never panicked on.
-pub fn flush_results() {
-    let fresh = registry().clone();
-    if fresh.is_empty() {
-        return;
+/// An exclusive advisory lock on `<results>.lock`, acquired via the
+/// atomicity of `O_CREAT|O_EXCL` (`create_new`). Cargo runs each bench
+/// binary as its own process, and every binary finishes with a
+/// read-merge-write of the shared results file — unserialized, two
+/// binaries can interleave (read, read, write, write) and the first
+/// writer's records silently vanish. The lock serializes the whole
+/// merge. Held locks are released on drop; a lock left behind by a
+/// crashed process is stolen after `LOCK_STEAL_AFTER` of polling.
+struct MergeLock {
+    path: std::path::PathBuf,
+}
+
+/// Poll interval while waiting for a competing merge to finish.
+const LOCK_POLL: std::time::Duration = std::time::Duration::from_millis(10);
+/// A merge takes milliseconds; a lock this old belongs to a dead process.
+const LOCK_STEAL_AFTER: std::time::Duration = std::time::Duration::from_secs(5);
+
+impl MergeLock {
+    fn acquire(results_path: &std::path::Path) -> Self {
+        let mut path = results_path.as_os_str().to_owned();
+        path.push(".lock");
+        let path = std::path::PathBuf::from(path);
+        let mut waited = std::time::Duration::ZERO;
+        loop {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(_) => return Self { path },
+                Err(err) if err.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if waited >= LOCK_STEAL_AFTER {
+                        // Stale lock from a crashed bench binary: steal it
+                        // and retry the atomic create (losing the race to
+                        // another stealer just loops again).
+                        let _ = std::fs::remove_file(&path);
+                        waited = std::time::Duration::ZERO;
+                        continue;
+                    }
+                    std::thread::sleep(LOCK_POLL);
+                    waited += LOCK_POLL;
+                }
+                Err(err) => {
+                    // Unlockable location (read-only dir, etc.): proceed
+                    // unserialized rather than hang the bench run — the
+                    // write itself will surface the real error.
+                    eprintln!(
+                        "criterion shim: could not lock {} ({err}); merging unserialized",
+                        path.display()
+                    );
+                    return Self { path: std::path::PathBuf::new() };
+                }
+            }
+        }
     }
-    let path = output_path();
-    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(&path)
+}
+
+impl Drop for MergeLock {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+/// Merge `fresh` into the results file at `path` by bench id (the new
+/// records win), holding the merge lock across the read-merge-write so
+/// concurrent bench binaries cannot drop each other's records.
+pub fn merge_results_into(path: &std::path::Path, fresh: Vec<BenchRecord>) -> std::io::Result<()> {
+    if fresh.is_empty() {
+        return Ok(());
+    }
+    let _lock = MergeLock::acquire(path);
+    let mut merged: Vec<BenchRecord> = std::fs::read_to_string(path)
         .map(|text| text.lines().filter_map(parse_record).collect())
         .unwrap_or_default();
     for record in fresh {
@@ -252,10 +318,22 @@ pub fn flush_results() {
     }
     let body: Vec<String> = merged.iter().map(emit_record).collect();
     let json = format!("{{\n  \"schema\": 1,\n  \"results\": [\n{}\n  ]\n}}\n", body.join(",\n"));
-    if let Err(err) = std::fs::write(&path, json) {
-        eprintln!("criterion shim: could not write {}: {err}", path.display());
-    } else {
-        eprintln!("criterion shim: wrote {}", path.display());
+    std::fs::write(path, json)
+}
+
+/// Write the registry to `BENCH_results.json`, merging with any existing
+/// file by bench id (this process's measurements win). Called by
+/// `criterion_main!` after all groups; a write failure is reported to
+/// stderr, never panicked on.
+pub fn flush_results() {
+    let fresh = registry().clone();
+    if fresh.is_empty() {
+        return;
+    }
+    let path = output_path();
+    match merge_results_into(&path, fresh) {
+        Ok(()) => eprintln!("criterion shim: wrote {}", path.display()),
+        Err(err) => eprintln!("criterion shim: could not write {}: {err}", path.display()),
     }
 }
 

@@ -1,0 +1,64 @@
+//! Concurrent-merge regression (PR 5 satellite): before the merge lock,
+//! every bench binary finished with an unserialized read-merge-write of
+//! the shared `BENCH_results.json`, so two binaries exiting together
+//! could interleave (read, read, write, write) and silently drop the
+//! first writer's records. This test hammers [`merge_results_into`] from
+//! many threads — each merging its own disjoint record set into one file
+//! — and requires every record to survive. Threads are a *harsher*
+//! schedule than cargo's process-per-bench-binary: same code path, same
+//! lock file, tighter interleaving.
+
+#![allow(clippy::unwrap_used, clippy::cast_lossless)]
+
+use criterion::{merge_results_into, BenchRecord};
+use std::path::PathBuf;
+
+fn record(id: String) -> BenchRecord {
+    BenchRecord { id, median_ns: 10.0, iters_per_sec: 1e8, samples: 11, iters: 100 }
+}
+
+#[test]
+fn concurrent_merges_drop_no_records() {
+    const WRITERS: usize = 8;
+    const RECORDS_EACH: usize = 10;
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("merge_race_results.json");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file({
+        let mut lock = path.as_os_str().to_owned();
+        lock.push(".lock");
+        PathBuf::from(lock)
+    });
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let path = &path;
+            s.spawn(move || {
+                let fresh: Vec<BenchRecord> =
+                    (0..RECORDS_EACH).map(|r| record(format!("writer{w}/bench{r}"))).collect();
+                merge_results_into(path, fresh).expect("merge must succeed");
+            });
+        }
+    });
+
+    let text = std::fs::read_to_string(&path).expect("results file exists");
+    for w in 0..WRITERS {
+        for r in 0..RECORDS_EACH {
+            let id = format!("\"id\": \"writer{w}/bench{r}\"");
+            assert!(text.contains(&id), "record writer{w}/bench{r} was dropped:\n{text}");
+        }
+    }
+    // Exactly one copy of each — the merge must not duplicate either.
+    assert_eq!(text.matches("\"id\": ").count(), WRITERS * RECORDS_EACH);
+
+    // Re-merging an existing id replaces in place rather than appending.
+    let updated = BenchRecord { median_ns: 42.0, ..record("writer0/bench0".to_string()) };
+    merge_results_into(&path, vec![updated]).expect("remerge");
+    let text = std::fs::read_to_string(&path).expect("results file exists");
+    assert_eq!(text.matches("\"id\": ").count(), WRITERS * RECORDS_EACH);
+    assert!(text.contains("\"id\": \"writer0/bench0\", \"median_ns\": 42"), "{text}");
+
+    // The lock never outlives a merge.
+    let mut lock = path.as_os_str().to_owned();
+    lock.push(".lock");
+    assert!(!PathBuf::from(lock).exists(), "merge lock leaked");
+}

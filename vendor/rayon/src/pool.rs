@@ -40,9 +40,41 @@
 
 use std::num::NonZeroUsize;
 use std::panic;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::thread;
+
+/// Lifetime tallies of executor activity, kept as plain process-global
+/// atomics so this crate stays a dependency-free stand-in for crates.io
+/// `rayon`. Observability layers above (see `trident::trace`) mirror
+/// these into their own counter sets; the executor itself never reads
+/// them back, so they cannot perturb scheduling or results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecutorStats {
+    /// Regions that planned more than one worker.
+    pub parallel_regions: u64,
+    /// Regions that ran on the calling thread only.
+    pub sequential_regions: u64,
+    /// Chunks claimed from the shared counter (parallel regions only).
+    pub chunks_claimed: u64,
+    /// Extra scoped worker threads spawned (worker 0 is the caller).
+    pub threads_spawned: u64,
+}
+
+static STAT_PARALLEL: AtomicU64 = AtomicU64::new(0);
+static STAT_SEQUENTIAL: AtomicU64 = AtomicU64::new(0);
+static STAT_CHUNKS: AtomicU64 = AtomicU64::new(0);
+static STAT_THREADS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot the lifetime executor tallies.
+pub fn stats() -> ExecutorStats {
+    ExecutorStats {
+        parallel_regions: STAT_PARALLEL.load(Ordering::Relaxed),
+        sequential_regions: STAT_SEQUENTIAL.load(Ordering::Relaxed),
+        chunks_claimed: STAT_CHUNKS.load(Ordering::Relaxed),
+        threads_spawned: STAT_THREADS.load(Ordering::Relaxed),
+    }
+}
 
 /// Chunks handed out per planned worker. More chunks than workers lets a
 /// worker that drew cheap items come back for more, at the cost of one
@@ -146,10 +178,13 @@ where
     let n = items.len();
     let workers = plan_workers(n);
     if workers <= 1 {
+        STAT_SEQUENTIAL.fetch_add(1, Ordering::Relaxed);
         // The exact sequential path: same closure, same order, no
         // spawning — `TRIDENT_THREADS=1` behaves like the pre-pool code.
         return items.into_iter().enumerate().map(|(i, x)| task(i, x)).collect();
     }
+    STAT_PARALLEL.fetch_add(1, Ordering::Relaxed);
+    STAT_THREADS.fetch_add(workers as u64 - 1, Ordering::Relaxed);
 
     // Contiguous, balanced chunks tagged with their base index.
     let chunk_count = (workers * CHUNKS_PER_WORKER).min(n);
@@ -176,6 +211,7 @@ where
             let Some((chunk_base, chunk)) = lock_slot(&inputs[slot]).take() else {
                 continue;
             };
+            STAT_CHUNKS.fetch_add(1, Ordering::Relaxed);
             let mut results = Vec::with_capacity(chunk.len());
             for (offset, item) in chunk.into_iter().enumerate() {
                 results.push(task(chunk_base + offset, item));
