@@ -18,12 +18,14 @@
 use crate::error::ArchError;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use trident_obs as obs;
 use trident_pcm::gst::{GstFault, GstParameters, WriteVerifyPolicy};
+use trident_pcm::stat::{seeded_gaussian, DegradationClock, StatParams, STREAM_NU, STREAM_PROG, STREAM_READ};
 use trident_pcm::weight::{PcmMrr, WeightLut};
 use trident_pcm::PcmError;
 use trident_photonics::ledger::EnergyLedger;
 use trident_photonics::mrr::{AddDropMrr, MrrGeometry};
-use trident_photonics::units::{EnergyPj, Nanoseconds};
+use trident_photonics::units::{EnergyPj, Hours, Nanoseconds};
 use trident_photonics::wdm::WdmGrid;
 
 /// Spare rings fabricated alongside each row for wear-leveling remap
@@ -93,6 +95,43 @@ pub struct WeightBank {
     through_coeff: Vec<f64>,
     energy: EnergyLedger,
     program_events: u64,
+    /// The bank's single simulated-deployment-time source: both the
+    /// deterministic relaxation law and the statistical drift model read
+    /// elapsed time from here, so time can never advance two ways.
+    #[serde(default)]
+    clock: DegradationClock,
+    /// The statistical device layer. `None` (the default) keeps the bank
+    /// exactly deterministic — no draws, no extra arithmetic.
+    #[serde(default)]
+    stat: Option<BankStat>,
+}
+
+/// Per-bank state of the statistical device model: seeded per-cell drift
+/// exponents, the last programming error and write time of every slot,
+/// the cached decay factors, and the calibration gain. No RNG object is
+/// stored — every draw is addressed by `(bank_seed, stream, counter)`
+/// through [`seeded_gaussian`], which keeps the bank serializable and the
+/// noise bitwise reproducible.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BankStat {
+    params: StatParams,
+    bank_seed: u64,
+    /// Per-slot drift exponent ν_i ≥ ν̄ (half-normal above the floor).
+    nu: Vec<f64>,
+    /// Post-verify programming error per slot, weight units.
+    prog_offset: Vec<f64>,
+    /// Deployment time of each slot's last successful write.
+    prog_at: Vec<Hours>,
+    /// Cached decay factor per slot at the clock's current time.
+    factor: Vec<f64>,
+    /// Global scale-calibration gain from the last reference-column read.
+    gain: f64,
+    /// Deployment time of the reference column's last rewrite (it is
+    /// refreshed alongside every programming event, so this is the
+    /// bank's *youngest* programming age — the safety bound).
+    ref_prog_at: Hours,
+    prog_draws: u64,
+    read_draws: u64,
 }
 
 impl WeightBank {
@@ -151,6 +190,8 @@ impl WeightBank {
             through_coeff: vec![0.0; rows * cols],
             energy: EnergyLedger::new(),
             program_events: 0,
+            clock: DegradationClock::new(),
+            stat: None,
         };
         for r in 0..rows {
             for k in 0..cols {
@@ -231,6 +272,7 @@ impl WeightBank {
                         if e.value() > 0.0 {
                             spent += e;
                             self.refresh_ring_cache(r, c);
+                            self.stat_on_write(r * self.cols + c, w);
                         }
                     }
                     Err(e @ PcmError::WeightOutOfRange(_)) => panic!("{e}"),
@@ -385,6 +427,7 @@ impl WeightBank {
                             report.retried_cells += 1;
                         }
                         self.refresh_ring_cache(r, c);
+                        self.stat_on_write(idx, w);
                         return Ok(true);
                     }
                     return Ok(remapped_retry);
@@ -457,7 +500,52 @@ impl WeightBank {
 
     /// Age every GST cell by `years` of crystallinity drift and refresh
     /// the optics.
+    #[deprecated(
+        since = "0.6.0",
+        note = "advance the bank's DegradationClock with `advance_years` / \
+                `advance_hours` instead of aging cells directly"
+    )]
     pub fn age(&mut self, years: f64) {
+        self.advance_years(years);
+    }
+
+    /// Advance simulated deployment time by `years` and apply the active
+    /// degradation law (deterministic crystallinity relaxation, or the
+    /// statistical power-law drift when [`WeightBank::enable_stat`] has
+    /// been called).
+    ///
+    /// The deterministic path receives `years` exactly as given — no
+    /// hours round-trip — so legacy fault-plan arithmetic stays
+    /// byte-identical.
+    pub fn advance_years(&mut self, years: f64) {
+        self.clock.advance(Hours::from_years(years));
+        if self.stat.is_some() {
+            self.refresh_drift_factors();
+        } else {
+            self.relax_cells(years);
+        }
+    }
+
+    /// Advance simulated deployment time by `delta` hours (the
+    /// statistical model's native scale) and apply the active
+    /// degradation law.
+    pub fn advance_hours(&mut self, delta: Hours) {
+        self.clock.advance(delta);
+        if self.stat.is_some() {
+            self.refresh_drift_factors();
+        } else {
+            self.relax_cells(delta.years());
+        }
+    }
+
+    /// The bank's deployment-time source.
+    pub fn clock(&self) -> &DegradationClock {
+        &self.clock
+    }
+
+    /// The deterministic structural-relaxation law over every cell (the
+    /// legacy `age` body — reached only through the clock now).
+    fn relax_cells(&mut self, years: f64) {
         for ring in &mut self.rings {
             ring.age(years);
         }
@@ -467,6 +555,120 @@ impl WeightBank {
             }
         }
         self.recompute_response();
+    }
+
+    /// Switch on the statistical device layer: seeded per-cell drift
+    /// exponents (half-normal above the fleet floor ν̄), level-dependent
+    /// programming noise on every subsequent successful write, per-probe
+    /// read noise, and power-law decay of each slot's effective weight
+    /// since its last write. Cells keep their programmed crystallinity —
+    /// the statistical layer acts on the readout, so disabling it (or
+    /// zeroing every σ and ν) recovers the deterministic bank exactly.
+    pub fn enable_stat(&mut self, params: StatParams, bank_seed: u64) {
+        let n = self.rows * self.cols;
+        let now = self.clock.now();
+        let nu = (0..n)
+            .map(|i| params.nu_slope(seeded_gaussian(bank_seed, STREAM_NU, i as u64)))
+            .collect();
+        self.stat = Some(BankStat {
+            params,
+            bank_seed,
+            nu,
+            prog_offset: vec![0.0; n],
+            prog_at: vec![now; n],
+            factor: vec![1.0; n],
+            gain: 1.0,
+            ref_prog_at: now,
+            prog_draws: 0,
+            read_draws: 0,
+        });
+    }
+
+    /// Whether the statistical device layer is active.
+    pub fn stat_enabled(&self) -> bool {
+        self.stat.is_some()
+    }
+
+    /// The statistical model's current global calibration gain (1.0 when
+    /// the layer is off or uncalibrated).
+    pub fn compensation_gain(&self) -> f64 {
+        self.stat.as_ref().map_or(1.0, |s| s.gain)
+    }
+
+    /// Re-derive every slot's decay factor from the clock (after a time
+    /// advance).
+    fn refresh_drift_factors(&mut self) {
+        let now = self.clock.now();
+        let Some(stat) = self.stat.as_mut() else { return };
+        for i in 0..stat.factor.len() {
+            stat.factor[i] = stat.params.cell_decay_factor(now - stat.prog_at[i], stat.nu[i]);
+        }
+        if obs::enabled() {
+            obs::add(obs::Counter::DriftUpdates, stat.factor.len() as u64);
+        }
+    }
+
+    /// Statistical bookkeeping for one successful write at `idx`: draw
+    /// the level-dependent programming error, restart the slot's drift
+    /// (a rewrite re-amorphizes the mark), and refresh the reference
+    /// column alongside.
+    fn stat_on_write(&mut self, idx: usize, w: f64) {
+        if self.stat.is_none() {
+            return;
+        }
+        let level = self.lut.level_for(w);
+        let levels = self.lut.levels();
+        let now = self.clock.now();
+        let Some(stat) = self.stat.as_mut() else { return };
+        let sigma = stat.params.prog_sigma_weight(level, levels);
+        let g = seeded_gaussian(stat.bank_seed, STREAM_PROG, stat.prog_draws);
+        stat.prog_draws += 1;
+        stat.prog_offset[idx] = sigma * g;
+        stat.prog_at[idx] = now;
+        stat.factor[idx] = 1.0;
+        stat.ref_prog_at = now;
+        if obs::enabled() {
+            obs::add(obs::Counter::StatNoiseSamples, 1);
+        }
+    }
+
+    /// One drift-calibration pass: read back the bank's reference column
+    /// (one probe per row), infer the youngest cohort's decay from its
+    /// characterized floor exponent, and set the global compensation
+    /// gain to the reciprocal. The optical probe energy is billed to the
+    /// `"drift calibration"` ledger entry and the obs counters; returns
+    /// the energy spent. A no-op returning zero when the statistical
+    /// layer is off.
+    pub fn calibrate_compensation(&mut self) -> EnergyPj {
+        let now = self.clock.now();
+        let rows = self.rows;
+        let read_energy = self.params.read_energy;
+        let Some(stat) = self.stat.as_mut() else { return EnergyPj::ZERO };
+        let column = stat.params.reference_column(read_energy);
+        stat.gain = column.compensation_gain_at(now - stat.ref_prog_at);
+        let spent = column.readout_energy(rows);
+        self.energy.charge("drift calibration", spent);
+        if obs::enabled() {
+            obs::add(obs::Counter::CompensationPasses, 1);
+            obs::add_pj(obs::Counter::CompensationFj, spent.value());
+        }
+        spent
+    }
+
+    /// Open the drift-compensation loop: reset the readout gain to unity.
+    ///
+    /// A reprogramming campaign (in-situ fine-tuning, a weight refresh)
+    /// rewrites cells sample by sample, so halfway through, freshly
+    /// written cells would be read through a gain calibrated for month-old
+    /// drift — amplified forward *and* backward products that destabilize
+    /// the gradient steps. The controller therefore disengages the gain
+    /// for the duration of the campaign and runs
+    /// [`WeightBank::calibrate_compensation`] once the writes are done.
+    /// A no-op when the statistical layer is off.
+    pub fn disengage_compensation(&mut self) {
+        if let Some(stat) = self.stat.as_mut() {
+            stat.gain = 1.0;
+        }
     }
 
     /// Whether the slot at `(r, c)` has been masked out.
@@ -557,6 +759,53 @@ impl WeightBank {
             .collect()
     }
 
+    /// Statistical matrix-vector product: the deterministic optics of
+    /// [`WeightBank::mvm`] with the device layer applied per slot — the
+    /// post-verify programming error rides on the coefficient, both decay
+    /// by the slot's drift factor, each row readout picks up one read-noise
+    /// draw, and the whole row is scaled by the calibration gain:
+    ///
+    /// ```text
+    /// y_r = gain · ( Σ_j (D_rj − T_rj + δ_rj·scale) · f_rj · x_j / scale  +  σ_read·g )
+    /// ```
+    ///
+    /// With every σ at zero and every ν at zero this reduces bitwise to
+    /// [`WeightBank::mvm`] (the noise-off passthrough the proptests pin);
+    /// with the layer off it *is* `mvm`.
+    pub fn mvm_stat(&mut self, x: &[f64]) -> Vec<f64> {
+        let Some(mut stat) = self.stat.take() else {
+            return self.mvm(x);
+        };
+        assert_eq!(x.len(), self.cols, "input width mismatch");
+        for (j, &v) in x.iter().enumerate() {
+            assert!((0.0..=1.0).contains(&v), "channel {j} power {v} outside [0, 1]");
+        }
+        let scale = self.lut.scale();
+        let mut y = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let base = r * self.cols;
+            let mut acc = 0.0;
+            for j in 0..self.cols {
+                let idx = base + j;
+                if self.masked[idx] {
+                    continue; // dead slot: channel cancelled, no offset either
+                }
+                let coeff = (self.drop_coeff[idx] - self.through_coeff[idx])
+                    + stat.prog_offset[idx] * scale;
+                acc += coeff * stat.factor[idx] * x[j];
+            }
+            let noise = stat.params.read_sigma_weight
+                * seeded_gaussian(stat.bank_seed, STREAM_READ, stat.read_draws);
+            stat.read_draws += 1;
+            y.push((acc / scale + noise) * stat.gain);
+        }
+        if obs::enabled() {
+            obs::add(obs::Counter::StatNoiseSamples, self.rows as u64);
+        }
+        self.stat = Some(stat);
+        y
+    }
+
     /// Per-ring balanced readout coefficient for the outer-product mode:
     /// the wavelength-demultiplexed drop−through response of ring
     /// `(r, c)` on its own channel, including the attenuation of the other
@@ -578,6 +827,33 @@ impl WeightBank {
             downstream *= at(k).1;
         }
         (upstream * own_drop - upstream * own_through * downstream) / self.lut.scale()
+    }
+
+    /// Statistical counterpart of [`WeightBank::ring_readout`]: the
+    /// deterministic coefficient with the slot's programming error and
+    /// drift factor applied, one read-noise draw, and the calibration
+    /// gain — so in-situ training sees the same degraded device the
+    /// forward pass does. Falls through to the deterministic readout
+    /// when the layer is off; masked slots stay at zero without a draw.
+    pub fn ring_readout_stat(&mut self, r: usize, c: usize) -> f64 {
+        let det = self.ring_readout(r, c);
+        let Some(mut stat) = self.stat.take() else {
+            return det;
+        };
+        let idx = r * self.cols + c;
+        let out = if self.masked[idx] {
+            det
+        } else {
+            let noise = stat.params.read_sigma_weight
+                * seeded_gaussian(stat.bank_seed, STREAM_READ, stat.read_draws);
+            stat.read_draws += 1;
+            if obs::enabled() {
+                obs::add(obs::Counter::StatNoiseSamples, 1);
+            }
+            ((det + stat.prog_offset[idx]) * stat.factor[idx] + noise) * stat.gain
+        };
+        self.stat = Some(stat);
+        out
     }
 
     /// Total optical energy delivered to the bank's GST cells so far.

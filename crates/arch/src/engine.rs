@@ -26,8 +26,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trident_obs as obs;
 use trident_pcm::gst::{GstFault, WriteVerifyPolicy};
+use trident_pcm::stat::StatParams;
 use trident_photonics::ledger::EnergyLedger;
-use trident_photonics::units::{count, EnergyPj, Nanoseconds};
+use trident_photonics::units::{count, EnergyPj, Hours, Nanoseconds};
 
 /// Activation slope of the GST cell (Fig. 3).
 const GST_SLOPE: f64 = 0.34;
@@ -92,6 +93,10 @@ pub struct EngineOptions {
     pub resonance_sigma_nm: f64,
     /// Seed for the fabrication-variation draw (a chip identity).
     pub variation_seed: u64,
+    /// Statistical PCM device model (programming noise, read noise,
+    /// power-law drift). `None` — the default everywhere the paper
+    /// tables are produced — keeps the engine exactly deterministic.
+    pub stat: Option<StatParams>,
 }
 
 impl Default for EngineOptions {
@@ -104,6 +109,7 @@ impl Default for EngineOptions {
             weight_bits: 8,
             resonance_sigma_nm: 0.0,
             variation_seed: 0,
+            stat: None,
         }
     }
 }
@@ -147,6 +153,7 @@ impl PhotonicMlp {
             weight_bits,
             resonance_sigma_nm,
             variation_seed,
+            stat,
         } = opts;
         assert!(dims.len() >= 2, "need at least input and output widths");
         assert!((2..=8).contains(&weight_bits), "weight bits must be 2..=8");
@@ -177,13 +184,21 @@ impl PhotonicMlp {
             let mut layer_pes = Vec::with_capacity(rt * ct);
             for t in 0..rt * ct {
                 let seed = noise_seed.map(|s| s.wrapping_add((k * 1000 + t) as u64));
-                layer_pes.push(ProcessingElement::with_variation(
+                let mut pe = ProcessingElement::with_variation(
                     bank_rows,
                     bank_cols,
                     seed,
                     resonance_sigma_nm,
                     variation_seed.wrapping_add((k * 1000 + t) as u64),
-                ));
+                );
+                if let Some(params) = stat {
+                    // Per-bank identity mixed into the master seed, the
+                    // same (k, t) convention the receiver-noise and
+                    // variation draws use.
+                    pe.bank_mut()
+                        .enable_stat(params, params.seed.wrapping_add((k * 1000 + t) as u64));
+                }
+                layer_pes.push(pe);
             }
             engine.pes.push(layer_pes);
         }
@@ -277,7 +292,7 @@ impl PhotonicMlp {
                 }
             }
             if plan.drift_years > 0.0 {
-                bank.age(plan.drift_years);
+                bank.advance_years(plan.drift_years);
             }
         }
         obs::add(
@@ -287,6 +302,51 @@ impl PhotonicMlp {
         obs::add(obs::Counter::FaultMaskEvents, report.dead_rings as u64);
         self.fault_tolerant_writes = true;
         report
+    }
+
+    /// Advance every bank's degradation clock by `delta` hours of
+    /// simulated deployment time and apply the active degradation law —
+    /// statistical power-law drift when built with
+    /// [`EngineOptions::stat`], deterministic crystallinity relaxation
+    /// otherwise. This is the single way time passes for a deployed
+    /// engine.
+    pub fn advance_deployment(&mut self, delta: Hours) {
+        let _span = obs::span("engine.advance_deployment");
+        for pe in self.pes.iter_mut().flatten() {
+            pe.bank_mut().advance_hours(delta);
+        }
+    }
+
+    /// Run one drift-calibration pass on every bank (one reference-column
+    /// read each), updating the global compensation gains. The probe
+    /// energy lands in each bank's `"drift calibration"` ledger entry (so
+    /// [`PhotonicMlp::total_energy`] and the obs counters both see it);
+    /// the total is returned. A no-op returning zero without the
+    /// statistical layer.
+    pub fn calibrate_drift_compensation(&mut self) -> EnergyPj {
+        let _span = obs::span("engine.drift_calibration");
+        let mut spent = EnergyPj::ZERO;
+        for pe in self.pes.iter_mut().flatten() {
+            spent += pe.bank_mut().calibrate_compensation();
+        }
+        spent
+    }
+
+    /// Open every bank's drift-compensation loop (gain back to unity) for
+    /// the duration of a reprogramming campaign — see
+    /// [`WeightBank::disengage_compensation`](crate::bank::WeightBank::disengage_compensation)
+    /// for why training under a stale gain is unsafe. A no-op without the
+    /// statistical layer.
+    pub fn disengage_drift_compensation(&mut self) {
+        for pe in self.pes.iter_mut().flatten() {
+            pe.bank_mut().disengage_compensation();
+        }
+    }
+
+    /// Whether the statistical device layer is active on the engine's
+    /// banks.
+    pub fn stat_enabled(&self) -> bool {
+        self.pes.iter().flatten().any(|pe| pe.bank().stat_enabled())
     }
 
     /// Whether programming runs through the fault-tolerant verified path.
@@ -952,6 +1012,35 @@ impl PhotonicMlp {
     /// The activation function the hardware applies between layers.
     pub fn activation(&self) -> (f64, f64) {
         (LOGIT_THRESHOLD, GST_SLOPE)
+    }
+
+    /// Float-math mirror of the photonic forward pass over the master
+    /// (electronic) weight copies — the engine's *digital twin*. The
+    /// adaptive-training error model measures the photonic hardware
+    /// against this reference to learn its systematic error; the
+    /// equivalence tests use it to bound device noise.
+    pub fn digital_forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y: Vec<f64> = x.to_vec();
+        let (threshold, slope) = self.activation();
+        for k in 0..self.layer_count() {
+            let (out, inp) = self.layer_dims(k);
+            let w = self.layer_weights(k);
+            let mut h = vec![0.0; out];
+            for i in 0..out {
+                for j in 0..inp {
+                    h[i] += w[i * inp + j] * y[j];
+                }
+            }
+            if k + 1 == self.layer_count() {
+                y = h;
+            } else {
+                y = h
+                    .iter()
+                    .map(|&v| if v >= threshold { slope * (v - threshold) } else { 0.0 })
+                    .collect();
+            }
+        }
+        y
     }
 }
 

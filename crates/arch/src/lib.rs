@@ -23,7 +23,10 @@
 //! * [`area`] — the Fig. 5 chip-area breakdown (604.6 mm², TIA-dominated).
 //! * [`perf`] — per-layer energy/latency for whole CNNs under the
 //!   weight-stationary dataflow (feeds Fig. 4 and Fig. 6).
-//! * [`training`] — the Table V training-time model.
+//! * [`training`] — the Table V training-time model, plus the dual
+//!   adaptive training loop that recovers accuracy on drifted hardware.
+//! * [`variation`] — fabrication-variation and temporal-drift deployment
+//!   studies (train-ideal → deploy-degraded → recover in situ).
 
 #![warn(missing_docs)]
 // Index-heavy device/tensor kernels: explicit indices mirror the
@@ -62,3 +65,5 @@ pub use engine::{EngineOptions, PhotonicMlp, TrainingOutcome};
 pub use pe::{PeMode, ProcessingElement};
 pub use perf::{LayerPerf, ModelPerf, TridentPerfModel};
 pub use power::PePowerModel;
+pub use training::{AdaptationOutcome, DualAdaptiveTrainer, ErrorModel};
+pub use variation::{DriftRow, DriftStudy, VariationRow, VariationStudy};

@@ -201,7 +201,13 @@ impl ProcessingElement {
 
     /// Unsigned optical MVM: `x[j] ∈ [0, 1]`, returns per-row dot products.
     pub fn mvm_unsigned(&mut self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.bank.mvm(x);
+        // The statistical readout needs `&mut` for its draw counter; the
+        // deterministic bank path is untouched when the layer is off.
+        let mut y = if self.bank.stat_enabled() {
+            self.bank.mvm_stat(x)
+        } else {
+            self.bank.mvm(x)
+        };
         if self.laser_droop > 0.0 {
             // A drooped pump delivers less power on every channel; all
             // detected dot products shrink by the same factor.
@@ -307,7 +313,11 @@ impl ProcessingElement {
             obs::add(obs::Counter::PcmWrites, 1);
             obs::add_pj(obs::Counter::PcmWriteFj, energy.value());
         }
-        let readout: Vec<f64> = (0..y.len()).map(|c| self.bank.ring_readout(0, c)).collect();
+        let readout: Vec<f64> = if self.bank.stat_enabled() {
+            (0..y.len()).map(|c| self.bank.ring_readout_stat(0, c)).collect()
+        } else {
+            (0..y.len()).map(|c| self.bank.ring_readout(0, c)).collect()
+        };
         let mut out = Vec::with_capacity(dh.len());
         for &d in dh {
             self.charge_symbol(y.len());

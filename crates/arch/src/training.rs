@@ -19,6 +19,7 @@
 //! give it a high retune-to-stream ratio, so Trident *loses* to the GPU
 //! there while winning on MobileNetV2, ResNet-50 and VGG-16.
 
+use crate::engine::PhotonicMlp;
 use crate::perf::TridentPerfModel;
 use serde::{Deserialize, Serialize};
 use trident_workload::model::ModelSpec;
@@ -94,6 +95,176 @@ pub fn inference_derived_training_time(
     }
 }
 
+/// Per-logit systematic-error prediction term — the "error prediction
+/// network" of dual adaptive training (DAT), collapsed to its bias term
+/// at this MLP scale. The model watches (photonic, digital-reference)
+/// logit pairs and learns, by exponential moving average, how far the
+/// degraded hardware sits from its electronic twin on each output; at
+/// inference the predicted error is subtracted from the photonic logits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorModel {
+    bias: Vec<f64>,
+    smoothing: f64,
+    updates: u64,
+}
+
+impl ErrorModel {
+    /// A zero-bias model over `outputs` logits. `smoothing` is the EMA
+    /// coefficient applied to each new observation, in `(0, 1]`.
+    pub fn new(outputs: usize, smoothing: f64) -> Self {
+        assert!(outputs > 0, "error model needs at least one logit");
+        assert!(
+            smoothing > 0.0 && smoothing <= 1.0,
+            "EMA smoothing must lie in (0, 1], got {smoothing}"
+        );
+        Self { bias: vec![0.0; outputs], smoothing, updates: 0 }
+    }
+
+    /// Fold one (photonic, digital-reference) logit pair into the
+    /// learned systematic-error term.
+    pub fn observe(&mut self, photonic: &[f64], reference: &[f64]) {
+        assert_eq!(photonic.len(), self.bias.len(), "photonic logit width mismatch");
+        assert_eq!(reference.len(), self.bias.len(), "reference logit width mismatch");
+        let a = self.smoothing;
+        for (b, (&p, &r)) in self.bias.iter_mut().zip(photonic.iter().zip(reference)) {
+            *b = (1.0 - a) * *b + a * (p - r);
+        }
+        self.updates += 1;
+        if trident_obs::enabled() {
+            trident_obs::add(trident_obs::Counter::ErrorModelUpdates, 1);
+        }
+    }
+
+    /// Photonic logits with the predicted systematic error subtracted.
+    pub fn corrected(&self, photonic: &[f64]) -> Vec<f64> {
+        assert_eq!(photonic.len(), self.bias.len(), "photonic logit width mismatch");
+        photonic.iter().zip(&self.bias).map(|(&p, &b)| p - b).collect()
+    }
+
+    /// The learned per-logit systematic error.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// How many observations have been folded in.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+}
+
+/// Dual adaptive training: the deployment-time recovery loop that pairs
+/// a learned systematic-error prediction term (applied to the photonic
+/// logits at inference) with in-situ fine-tuning (whose reprogramming
+/// pulses rewrite the drifted cells, resetting their drift clocks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DualAdaptiveTrainer {
+    /// EMA coefficient for the error model, in `(0, 1]`.
+    pub error_smoothing: f64,
+    /// In-situ fine-tune epochs over the adaptation set.
+    pub finetune_epochs: usize,
+    /// Learning rate for the fine-tune phase.
+    pub learning_rate: f64,
+}
+
+impl Default for DualAdaptiveTrainer {
+    fn default() -> Self {
+        Self { error_smoothing: 0.25, finetune_epochs: 4, learning_rate: 0.1 }
+    }
+}
+
+/// What [`DualAdaptiveTrainer::adapt`] recovered.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationOutcome {
+    /// Error model re-learned on the fine-tuned chip (the one a deployed
+    /// system would keep applying).
+    pub error_model: ErrorModel,
+    /// Accuracy with error-corrected logits *before* fine-tuning — the
+    /// cheap half of DAT on its own.
+    pub corrected_accuracy: f64,
+    /// Accuracy after fine-tuning, with the refreshed error model — the
+    /// full dual loop.
+    pub adapted_accuracy: f64,
+}
+
+impl DualAdaptiveTrainer {
+    /// Learn a fresh error model by sweeping the adaptation inputs
+    /// through both the photonic hardware and its digital twin.
+    pub fn learn_error_model(&self, engine: &mut PhotonicMlp, xs: &[Vec<f64>]) -> ErrorModel {
+        let layers = engine.layer_count();
+        assert!(layers > 0, "engine has no layers");
+        let (outputs, _) = engine.layer_dims(layers - 1);
+        let mut model = ErrorModel::new(outputs, self.error_smoothing);
+        for x in xs {
+            let photonic = engine.forward(x);
+            let reference = engine.digital_forward(x);
+            model.observe(&photonic, &reference);
+        }
+        model
+    }
+
+    /// Accuracy of the engine with `model`-corrected logits.
+    pub fn corrected_accuracy(
+        engine: &mut PhotonicMlp,
+        model: &ErrorModel,
+        xs: &[Vec<f64>],
+        labels: &[usize],
+    ) -> f64 {
+        assert_eq!(xs.len(), labels.len(), "samples/labels length mismatch");
+        assert!(!xs.is_empty(), "need at least one sample");
+        let mut correct = 0usize;
+        for (x, &label) in xs.iter().zip(labels) {
+            let logits = model.corrected(&engine.forward(x));
+            let pred = logits
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            if pred == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / xs.len() as f64
+    }
+
+    /// Run the full dual loop on a (degraded) engine: learn the error
+    /// model, measure the correction-only accuracy, fine-tune in situ
+    /// (which reprograms — and therefore un-drifts — the touched cells),
+    /// then re-learn the error model for the refreshed chip.
+    pub fn adapt(
+        &self,
+        engine: &mut PhotonicMlp,
+        xs: &[Vec<f64>],
+        labels: &[usize],
+    ) -> AdaptationOutcome {
+        let _span = if trident_obs::enabled() {
+            trident_obs::span_owned("training.dual_adaptive".to_string())
+        } else {
+            trident_obs::SpanGuard::disabled()
+        };
+        if engine.stat_enabled() {
+            engine.calibrate_drift_compensation();
+        }
+        let pre = self.learn_error_model(engine, xs);
+        let corrected_accuracy = Self::corrected_accuracy(engine, &pre, xs, labels);
+        // Fine-tuning reprograms (and thereby un-drifts) cells one write
+        // at a time, so the calibrated gain goes stale mid-campaign and
+        // would amplify forward *and* backward products of the refreshed
+        // cells — at deep drift that destabilizes the gradient steps.
+        // Open the compensation loop for the campaign, then recalibrate.
+        if self.finetune_epochs > 0 {
+            engine.disengage_drift_compensation();
+            engine.train(xs, labels, self.learning_rate, self.finetune_epochs);
+            if engine.stat_enabled() {
+                engine.calibrate_drift_compensation();
+            }
+        }
+        let error_model = self.learn_error_model(engine, xs);
+        let adapted_accuracy = Self::corrected_accuracy(engine, &error_model, xs, labels);
+        AdaptationOutcome { error_model, corrected_accuracy, adapted_accuracy }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +316,60 @@ mod tests {
         let t = inference_derived_training_time("X", 300.0, 30_000);
         assert!((t.seconds_per_image - 0.01).abs() < 1e-12);
         assert!((t.total_seconds - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_model_learns_and_subtracts_the_offset() {
+        let mut em = ErrorModel::new(3, 1.0); // smoothing 1 → keep last observation
+        em.observe(&[1.5, 2.0, -1.0], &[1.0, 1.0, -1.0]);
+        assert_eq!(em.bias(), &[0.5, 1.0, 0.0]);
+        assert_eq!(em.update_count(), 1);
+        assert_eq!(em.corrected(&[1.5, 2.0, -1.0]), vec![1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn error_model_ema_blends_observations() {
+        let mut em = ErrorModel::new(1, 0.5);
+        em.observe(&[2.0], &[0.0]); // bias = 1.0
+        em.observe(&[0.0], &[0.0]); // bias = 0.5
+        assert!((em.bias()[0] - 0.5).abs() < 1e-12);
+        assert_eq!(em.update_count(), 2);
+    }
+
+    #[test]
+    fn dual_adaptive_training_recovers_a_drifted_chip() {
+        use crate::engine::{EngineOptions, PhotonicMlp};
+        use trident_nn::data::synthetic_digits;
+        use trident_pcm::stat::StatParams;
+        use trident_photonics::units::Hours;
+
+        let data = synthetic_digits(2, 0.05, 99);
+        let xs: Vec<Vec<f64>> = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let labels = data.labels;
+
+        let mut chip = PhotonicMlp::with_options(
+            &[64, 16, 10],
+            EngineOptions { seed: 11, stat: Some(StatParams::default()), ..Default::default() },
+        );
+        chip.train(&xs, &labels, 0.1, 8);
+        chip.advance_deployment(Hours::from_days(30.0));
+        let degraded = chip.accuracy(&xs, &labels);
+
+        let outcome = DualAdaptiveTrainer::default().adapt(&mut chip, &xs, &labels);
+        assert!(outcome.error_model.update_count() > 0);
+        assert!(
+            outcome.adapted_accuracy >= degraded - 1e-9,
+            "adaptation should not lose accuracy: degraded {degraded} adapted {}",
+            outcome.adapted_accuracy
+        );
+        assert!(
+            outcome.adapted_accuracy >= outcome.corrected_accuracy - 0.11,
+            "full dual loop should hold its own against correction alone: {} vs {}",
+            outcome.adapted_accuracy,
+            outcome.corrected_accuracy
+        );
     }
 
     #[test]

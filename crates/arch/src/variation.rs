@@ -16,8 +16,11 @@
 //! any `TRIDENT_THREADS` setting (DESIGN.md §11).
 
 use crate::engine::{EngineOptions, PhotonicMlp};
+use crate::training::DualAdaptiveTrainer;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use trident_pcm::stat::StatParams;
+use trident_photonics::units::Hours;
 
 /// Result at one variation magnitude.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -134,6 +137,141 @@ impl VariationStudy {
     }
 }
 
+/// Result at one deployment age under the statistical device model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftRow {
+    /// Hours since the weights were programmed.
+    pub hours: f64,
+    /// Mean accuracy of the freshly programmed chips (programming noise
+    /// only, zero drift) — the t = 0 reference every recovery chases.
+    pub baseline_accuracy: f64,
+    /// Mean accuracy after drifting for `hours` with no countermeasures.
+    pub uncompensated_accuracy: f64,
+    /// Mean accuracy after one reference-column calibration pass set the
+    /// global compensation gain.
+    pub compensated_accuracy: f64,
+    /// Mean accuracy after the full dual-adaptive-training loop
+    /// (error model + in-situ fine-tune + recalibration).
+    pub adaptive_accuracy: f64,
+    /// Chips simulated.
+    pub trials: usize,
+}
+
+impl DriftRow {
+    /// Accuracy lost to uncompensated drift.
+    pub fn drift_drop(&self) -> f64 {
+        self.baseline_accuracy - self.uncompensated_accuracy
+    }
+
+    /// How far the full adaptive loop remains below the t = 0 baseline
+    /// (negative when it ends up above it).
+    pub fn residual_gap(&self) -> f64 {
+        self.baseline_accuracy - self.adaptive_accuracy
+    }
+}
+
+/// Temporal-drift deployment study: train once on an ideal chip, deploy
+/// onto statistically noisy chips, let them drift for a set of deployment
+/// ages, and measure accuracy with no countermeasures, with reference-
+/// column compensation, and with full dual adaptive training.
+///
+/// Hour points and the chip trials inside them fan out on the executor;
+/// every chip draws its device statistics from `stat.seed + trial`, and
+/// the per-age accuracy sums fold in trial order, so rows are bitwise
+/// identical at any `TRIDENT_THREADS` setting (DESIGN.md §11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftStudy {
+    /// Network layer widths.
+    pub dims: Vec<usize>,
+    /// Training epochs on the ideal chip.
+    pub pretrain_epochs: usize,
+    /// In-situ fine-tune epochs inside the adaptive loop.
+    pub finetune_epochs: usize,
+    /// Learning rate for both phases.
+    pub learning_rate: f64,
+    /// Chips per deployment age.
+    pub trials: usize,
+    /// Statistical device model applied to every deployed chip; `seed`
+    /// acts as the base chip identity, offset per trial.
+    pub stat: StatParams,
+}
+
+impl Default for DriftStudy {
+    fn default() -> Self {
+        Self {
+            dims: vec![64, 16, 10],
+            pretrain_epochs: 12,
+            finetune_epochs: 4,
+            learning_rate: 0.1,
+            trials: 3,
+            stat: StatParams::default(),
+        }
+    }
+}
+
+impl DriftStudy {
+    /// Run the study over the given deployment ages (hours since
+    /// programming) on a labelled dataset.
+    pub fn run(&self, hour_points: &[f64], xs: &[Vec<f64>], labels: &[usize]) -> Vec<DriftRow> {
+        // Phase 1: "digital" training on ideal, noise-free hardware.
+        let mut ideal = PhotonicMlp::with_options(
+            &self.dims,
+            EngineOptions { seed: 11, ..Default::default() },
+        );
+        ideal.train(xs, labels, self.learning_rate, self.pretrain_epochs);
+        let trained: Vec<Vec<f64>> =
+            (0..ideal.layer_count()).map(|k| ideal.layer_weights(k).to_vec()).collect();
+
+        // Phase 2: deploy onto statistical chips, drift, and recover —
+        // in parallel across deployment ages and chip identities.
+        hour_points
+            .par_iter()
+            .map(|&hours| {
+                let sums = (0..self.trials)
+                    .into_par_iter()
+                    .map(|trial| {
+                        let stat = StatParams {
+                            seed: self.stat.seed.wrapping_add(trial as u64),
+                            ..self.stat
+                        };
+                        let mut chip = PhotonicMlp::with_options(
+                            &self.dims,
+                            EngineOptions { seed: 11, stat: Some(stat), ..Default::default() },
+                        );
+                        for (k, w) in trained.iter().enumerate() {
+                            chip.set_layer_weights(k, w);
+                        }
+                        let baseline = chip.accuracy(xs, labels);
+                        chip.advance_deployment(Hours(hours));
+                        let uncompensated = chip.accuracy(xs, labels);
+                        chip.calibrate_drift_compensation();
+                        let compensated = chip.accuracy(xs, labels);
+                        let trainer = DualAdaptiveTrainer {
+                            finetune_epochs: self.finetune_epochs,
+                            learning_rate: self.learning_rate,
+                            ..Default::default()
+                        };
+                        let outcome = trainer.adapt(&mut chip, xs, labels);
+                        (baseline, uncompensated, compensated, outcome.adapted_accuracy)
+                    })
+                    .reduce(
+                        || (0.0, 0.0, 0.0, 0.0),
+                        |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3 + b.3),
+                    );
+                let n = self.trials as f64;
+                DriftRow {
+                    hours,
+                    baseline_accuracy: sums.0 / n,
+                    uncompensated_accuracy: sums.1 / n,
+                    compensated_accuracy: sums.2 / n,
+                    adaptive_accuracy: sums.3 / n,
+                    trials: self.trials,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +332,47 @@ mod tests {
             r.deployed_accuracy,
             r.finetuned_accuracy
         );
+    }
+
+    #[test]
+    fn drift_degrades_and_the_dual_loop_recovers() {
+        let (xs, labels) = digit_data(3);
+        let study = DriftStudy { trials: 1, ..Default::default() };
+        let rows = study.run(&[720.0], &xs, &labels);
+        let r = &rows[0];
+        assert!(r.baseline_accuracy > 0.7, "fresh deployment should work: {}", r.baseline_accuracy);
+        assert!(
+            r.drift_drop() > 0.1,
+            "a month of drift should hurt: baseline {} uncompensated {}",
+            r.baseline_accuracy,
+            r.uncompensated_accuracy
+        );
+        assert!(
+            r.compensated_accuracy > r.uncompensated_accuracy,
+            "gain compensation should claw accuracy back: {} -> {}",
+            r.uncompensated_accuracy,
+            r.compensated_accuracy
+        );
+        assert!(
+            r.residual_gap() <= 0.01,
+            "dual adaptive training should land within a point of t=0: baseline {} adaptive {}",
+            r.baseline_accuracy,
+            r.adaptive_accuracy
+        );
+    }
+
+    #[test]
+    fn drift_study_is_deterministic() {
+        let (xs, labels) = digit_data(1);
+        let study = DriftStudy {
+            pretrain_epochs: 4,
+            finetune_epochs: 1,
+            trials: 2,
+            ..Default::default()
+        };
+        let a = study.run(&[24.0], &xs, &labels);
+        let b = study.run(&[24.0], &xs, &labels);
+        assert_eq!(a, b, "same seeds must reproduce the same rows bitwise");
     }
 
     #[test]

@@ -1,0 +1,13 @@
+//! Temporal-drift ablation: deploy a trained network onto chips running
+//! the statistical PCM model (programming noise, read noise, power-law
+//! conductance drift), let them age for a day / a week / a month, and
+//! measure accuracy with no countermeasures, with reference-column drift
+//! compensation, and with the full dual-adaptive-training loop.
+//!
+//! Usage: `ablation_drift [per_class] [trials]` (defaults 3, 2).
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_class: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    print!("{}", trident::experiments::ablations::drift::render(per_class, trials));
+}

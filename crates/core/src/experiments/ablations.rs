@@ -406,6 +406,48 @@ pub mod faults {
     }
 }
 
+/// Temporal-drift ablation: accuracy vs hours since programming under
+/// the statistical PCM model, with and without reference-column drift
+/// compensation and dual adaptive training. The statistical layer is
+/// opt-in — every other table in this binary family runs with it off.
+pub mod drift {
+    use super::*;
+    use trident_arch::variation::{DriftRow, DriftStudy};
+
+    /// Deployment ages the rendered table sweeps (one day, one week, one
+    /// month after programming).
+    pub const HOUR_POINTS: &[f64] = &[0.0, 24.0, 168.0, 720.0];
+
+    /// Run the deploy-drift-recover study over deployment ages.
+    pub fn run(hour_points: &[f64], per_class: usize, trials: usize) -> Vec<DriftRow> {
+        let data = synthetic_digits(per_class, 0.05, 99);
+        let xs: Vec<Vec<f64>> = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let study = DriftStudy { trials, ..Default::default() };
+        study.run(hour_points, &xs, &data.labels)
+    }
+
+    /// Render the study as the accuracy-vs-deployment-age table.
+    pub fn render(per_class: usize, trials: usize) -> String {
+        let mut t = TextTable::new(
+            "Ablation: PCM conductance drift — compensation and dual adaptive training",
+            &["hours", "t=0 acc.", "Drifted acc.", "Compensated acc.", "DAT acc.", "DAT gap (pt)"],
+        );
+        for row in run(HOUR_POINTS, per_class, trials) {
+            t.row(&[
+                format!("{:.0}", row.hours),
+                format!("{:.1}%", row.baseline_accuracy * 100.0),
+                format!("{:.1}%", row.uncompensated_accuracy * 100.0),
+                format!("{:.1}%", row.compensated_accuracy * 100.0),
+                format!("{:.1}%", row.adaptive_accuracy * 100.0),
+                format!("{:+.1}", -row.residual_gap() * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,8 +8,10 @@
 //! | `error-impl` | all library code      | `pub enum *Error` without `Display` + `std::error::Error` |
 //!
 //! Unit-bearing modules are where Table IV–VI numbers are assembled:
-//! `arch/{power,perf,area,endurance}.rs`, everything in `photonics/`,
-//! everything in `baselines/`. There the energy/latency arithmetic must
+//! `arch/{power,perf,area,endurance}.rs`, `pcm/stat.rs` (drift exponents,
+//! noise σ and deployment time must carry units or dimensionless names),
+//! everything in `photonics/`, everything in `baselines/`. There the
+//! energy/latency arithmetic must
 //! flow through `photonics::units` newtypes; a raw `f64` is assumed to be
 //! a dimensionless factor and must say so in its name.
 
@@ -85,6 +87,7 @@ pub fn is_unit_bearing(rel: &str) -> bool {
                 | "crates/arch/src/perf.rs"
                 | "crates/arch/src/area.rs"
                 | "crates/arch/src/endurance.rs"
+                | "crates/pcm/src/stat.rs"
         )
 }
 
@@ -436,6 +439,13 @@ mod tests {
     fn vec_and_tuple_returns_are_exempt() {
         let src = "pub fn samples(&self) -> Vec<f64> { vec![] }\npub fn pair(&self) -> (f64, f64) { (0.0, 0.0) }";
         assert!(check_file("crates/photonics/src/laser.rs", &toks(src)).is_empty());
+    }
+
+    #[test]
+    fn pcm_stat_module_is_unit_bearing() {
+        assert!(is_unit_bearing("crates/pcm/src/stat.rs"));
+        // The rest of the pcm crate keeps its crystallinity-space API.
+        assert!(!is_unit_bearing("crates/pcm/src/gst.rs"));
     }
 
     #[test]

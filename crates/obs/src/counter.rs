@@ -95,6 +95,16 @@ counters! {
     ExecutorChunksClaimed => "executor_chunks_claimed",
     /// Scoped worker threads spawned by the executor (gauge).
     ExecutorThreadsSpawned => "executor_threads_spawned",
+    /// Statistical-model noise samples drawn (programming + read noise).
+    StatNoiseSamples => "stat_noise_samples",
+    /// Per-cell drift-factor refreshes after a degradation-clock advance.
+    DriftUpdates => "drift_updates",
+    /// Reference-column drift-calibration passes.
+    CompensationPasses => "compensation_passes",
+    /// Optical energy of drift-calibration reference reads, femtojoules.
+    CompensationFj => "compensation_fj",
+    /// Adaptive-training systematic-error-model updates.
+    ErrorModelUpdates => "error_model_updates",
 }
 
 /// Convert a picojoule quantity to integer femtojoules, saturating and

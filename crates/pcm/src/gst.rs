@@ -465,10 +465,19 @@ impl GstCell {
     /// constant is set so the state stays within half an 8-bit LSB over
     /// the rated retention — the device-physics meaning of "non-volatile
     /// for up to 10 years".
+    ///
+    /// The arithmetic lives in [`crate::stat::relaxed_crystallinity`];
+    /// this method is the cell-level shim. Callers above the cell should
+    /// advance a [`crate::stat::DegradationClock`] (the weight bank's
+    /// `advance_years`) instead of aging cells directly, so simulated
+    /// deployment time has exactly one source.
     pub fn age(&mut self, years: f64) {
-        assert!(years >= 0.0, "cannot age backwards");
-        let drift = self.params.drift_per_decade() * (years / self.params.retention_years);
-        self.crystallinity = (self.crystallinity + drift * (1.0 - self.crystallinity)).min(1.0);
+        self.crystallinity = crate::stat::relaxed_crystallinity(
+            self.crystallinity,
+            self.params.drift_per_decade(),
+            years,
+            self.params.retention_years,
+        );
     }
 
     /// Drift of the stored level in LSBs after `years` (for a fresh copy;

@@ -17,6 +17,11 @@
 //! * [`ldsu`] — the Linear Derivative Storage Unit (Fig. 2d): an analog
 //!   comparator and a D-flip-flop per row that capture `f'(h)` during the
 //!   forward pass so the backward pass never touches memory.
+//! * [`stat`] — the seeded *statistical* device layer over [`gst`]:
+//!   level-dependent programming noise, per-probe read noise, power-law
+//!   conductance drift with per-cell exponents, and the
+//!   [`stat::DegradationClock`] that unifies deterministic and
+//!   statistical aging behind one simulated-deployment-time source.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,10 +31,12 @@ pub mod activation;
 pub mod error;
 pub mod gst;
 pub mod ldsu;
+pub mod stat;
 pub mod weight;
 
 pub use activation::{fig3_curve, ActivationCellParams, GstActivationCell, GstRelu};
 pub use error::PcmError;
 pub use gst::{GstCell, GstFault, GstParameters, WriteReport, WriteVerifyPolicy};
 pub use ldsu::Ldsu;
+pub use stat::{seeded_gaussian, DegradationClock, StatParams};
 pub use weight::{PcmMrr, WeightLut};

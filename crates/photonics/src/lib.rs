@@ -7,6 +7,9 @@
 //!
 //! * [`units`] — strongly-typed physical quantities (wavelength, power,
 //!   energy, time, area) with explicit unit conversions.
+//! * [`calib`] — the power-law PCM drift decay factor and the
+//!   reference-column readout that turns it into a global scale
+//!   calibration at inference time.
 //! * [`wdm`] — wavelength-division-multiplexing channel grids and
 //!   multi-channel optical signals carried on one waveguide.
 //! * [`mrr`] — add-drop microring resonator transfer functions (through and
@@ -35,6 +38,7 @@
 #![deny(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless))]
 
+pub mod calib;
 pub mod crosstalk;
 pub mod detector;
 pub mod laser;
@@ -51,6 +55,7 @@ pub mod waveguide;
 pub mod wdm;
 
 pub use crosstalk::{effective_bit_resolution, BankOperatingPoint, CrosstalkReport};
+pub use calib::{drift_decay_factor, ReferenceColumn};
 pub use detector::{BalancedPhotodetector, Photodetector, TransimpedanceAmplifier};
 pub use laser::{EoModulator, LaserSource};
 pub use ledger::{EnergyLedger, PowerLedger};

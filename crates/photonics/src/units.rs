@@ -203,6 +203,18 @@ scalar_unit!(
     "Hz"
 );
 
+scalar_unit!(
+    /// Deployment / wall-clock time in hours.
+    ///
+    /// Distinct from [`Nanoseconds`] on purpose: `Nanoseconds` measures
+    /// *simulated circuit* latency, while `Hours` measures *simulated
+    /// deployment* time — the scale on which PCM conductance drift and
+    /// retention act. Keeping them as separate types means a drift law can
+    /// never accidentally be fed a symbol latency.
+    Hours,
+    "h"
+);
+
 /// Device or event counts entering the energy/latency arithmetic.
 ///
 /// The performance model multiplies per-device quantities by integer
@@ -410,6 +422,30 @@ impl Nanoseconds {
     }
 }
 
+impl Hours {
+    /// Construct from days.
+    #[inline]
+    pub fn from_days(days: f64) -> Self {
+        Self(days * 24.0)
+    }
+
+    /// Construct from years (Julian year, 8766 h — matching the
+    /// `365.25 × 24` convention the retention model uses).
+    #[inline]
+    pub fn from_years(years: f64) -> Self {
+        Self(years * HOURS_PER_YEAR)
+    }
+
+    /// Convert to years (Julian year, 8766 h).
+    #[inline]
+    pub fn years(self) -> f64 {
+        self.0 / HOURS_PER_YEAR
+    }
+}
+
+/// Hours per Julian year (365.25 days), the retention model's convention.
+pub const HOURS_PER_YEAR: f64 = 365.25 * 24.0;
+
 impl AreaUm2 {
     /// Construct from square millimetres.
     #[inline]
@@ -577,6 +613,15 @@ mod tests {
         assert_eq!(Nanoseconds(300.0) / 4u64, Nanoseconds(75.0));
         assert_eq!(count(44usize), 44.0);
         assert_eq!(count(u64::from(u32::MAX)), 4294967295.0);
+    }
+
+    #[test]
+    fn hours_round_trips() {
+        assert_eq!(Hours::from_days(2.0), Hours(48.0));
+        let h = Hours::from_years(10.0);
+        assert!((h.years() - 10.0).abs() < 1e-12);
+        assert!((h.value() - 87_660.0).abs() < 1e-9);
+        assert_eq!(format!("{:.1}", Hours(720.0)), "720.0 h");
     }
 
     #[test]

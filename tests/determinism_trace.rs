@@ -50,6 +50,7 @@ fn artifacts_identical_with_tracing_on_and_off() {
         ("ablation.bits", || ex::ablations::bits::render(4, 8)),
         ("ablation.dfa_vs_bp", || ex::ablations::dfa_vs_bp::render(3, 8)),
         ("ablation.variation", || ex::ablations::variation::render(3, 2)),
+        ("ablation.drift", || ex::ablations::drift::render(2, 1)),
     ];
     for (name, render) in &sections {
         assert_eq!(
@@ -79,6 +80,18 @@ fn artifacts_identical_with_tracing_on_and_off() {
     // not pass vacuously with dead instrumentation.
     let snap = obs::snapshot();
     assert!(snap.counters.get(obs::Counter::MacOps) > 0, "tracing recorded no MACs");
+    assert!(
+        snap.counters.get(obs::Counter::StatNoiseSamples) > 0,
+        "tracing recorded no statistical-model noise samples"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::CompensationPasses) > 0,
+        "tracing recorded no drift-calibration passes"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::ErrorModelUpdates) > 0,
+        "tracing recorded no error-model updates"
+    );
     assert!(
         snap.counters.get(obs::Counter::DataflowLayersMapped) > 0,
         "tracing recorded no dataflow activity"

@@ -1,18 +1,20 @@
 //! Invariants of the fault-injection & graceful-degradation subsystem:
 //! the closed-loop program-and-verify write path always converges within
-//! its retry bound on healthy cells, and wear-leveling never programs a
-//! cell past its endurance budget.
+//! its retry bound on healthy cells, wear-leveling never programs a
+//! cell past its endurance budget, and the statistical device layer is
+//! an exact no-op when its noise and drift are zeroed.
 
 
 #![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless)]
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use trident::arch::bank::WeightBank;
 use trident::pcm::gst::{GstParameters, WriteVerifyPolicy};
+use trident::pcm::stat::StatParams;
 use trident::pcm::weight::{PcmMrr, WeightLut};
 use trident::photonics::mrr::{AddDropMrr, MrrGeometry};
-use trident::photonics::units::Wavelength;
+use trident::photonics::units::{Hours, Wavelength};
 
 fn fresh_mrr() -> (PcmMrr, WeightLut) {
     let params = GstParameters::default();
@@ -76,6 +78,98 @@ proptest! {
             (achieved - lut.weight_at(level)).abs() <= lut.verify_tolerance(level).max(1.0 / 127.0),
             "read back {} for target {}", achieved, w2
         );
+    }
+
+    /// A zeroed statistical layer (no programming noise, no read noise,
+    /// zero drift exponent) is an exact bitwise passthrough of the
+    /// deterministic bank: enabling it must change nothing.
+    #[test]
+    fn zeroed_stat_layer_is_exact_passthrough(seed in 0u64..512, bank_seed in 0u64..64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let rows: Vec<&[f64]> = weights.chunks(4).collect();
+
+        let mut det = WeightBank::new(4, 4, GstParameters::default());
+        det.program(&rows);
+        let mut stat = WeightBank::new(4, 4, GstParameters::default());
+        stat.program(&rows);
+        stat.enable_stat(
+            StatParams {
+                prog_sigma_min_weight: 0.0,
+                prog_sigma_max_weight: 0.0,
+                read_sigma_weight: 0.0,
+                drift_nu_floor: 0.0,
+                drift_nu_spread: 0.0,
+                ..Default::default()
+            },
+            bank_seed,
+        );
+        // A calibration pass at age zero must set a gain of exactly 1.
+        stat.calibrate_compensation();
+
+        let x: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y_det = det.mvm(&x);
+        let y_stat = stat.mvm_stat(&x);
+        for (a, b) in y_det.iter().zip(&y_stat) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "mvm diverged: {} vs {}", a, b);
+        }
+        for r in 0..4 {
+            for c in 0..4 {
+                let a = det.ring_readout(r, c);
+                let b = stat.ring_readout_stat(r, c);
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "readout diverged at ({}, {})", r, c);
+            }
+        }
+    }
+
+    /// Reference-column compensation never increases any cell's absolute
+    /// weight error (and therefore never the bank's mean): the reference
+    /// decays at the characterized fleet floor, every live cell at least
+    /// that fast, so the gain can only move weights toward their targets.
+    #[test]
+    fn compensation_never_increases_weight_error(
+        seed in 0u64..256,
+        bank_seed in 0u64..64,
+        age_hours in 0.0f64..20_000.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let rows: Vec<&[f64]> = weights.chunks(4).collect();
+        let mut bank = WeightBank::new(4, 4, GstParameters::default());
+        bank.program(&rows);
+        // Drift only — zero noise keeps the readout deterministic so the
+        // comparison is exact, and the per-cell exponent spread is live.
+        bank.enable_stat(
+            StatParams {
+                prog_sigma_min_weight: 0.0,
+                prog_sigma_max_weight: 0.0,
+                read_sigma_weight: 0.0,
+                ..Default::default()
+            },
+            bank_seed,
+        );
+        bank.advance_hours(Hours(age_hours));
+
+        let targets: Vec<f64> =
+            (0..4).flat_map(|r| (0..4).map(move |c| (r, c))).map(|(r, c)| bank.ring_readout(r, c)).collect();
+
+        bank.disengage_compensation();
+        let drifted: Vec<f64> =
+            (0..4).flat_map(|r| (0..4).map(move |c| (r, c))).map(|(r, c)| bank.ring_readout_stat(r, c)).collect();
+        bank.calibrate_compensation();
+        prop_assert!(bank.compensation_gain() >= 1.0);
+        let compensated: Vec<f64> =
+            (0..4).flat_map(|r| (0..4).map(move |c| (r, c))).map(|(r, c)| bank.ring_readout_stat(r, c)).collect();
+
+        for ((t, d), k) in targets.iter().zip(&drifted).zip(&compensated) {
+            let uncomp = (t - d).abs();
+            let comp = (t - k).abs();
+            prop_assert!(
+                comp <= uncomp + 1e-12,
+                "compensation worsened a cell: |{} - {}| -> |{} - {}|",
+                t, d, t, k
+            );
+        }
     }
 
     /// Wear-leveling invariant: however many reprogram cycles a bank sees,

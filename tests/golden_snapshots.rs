@@ -194,6 +194,33 @@ fn dataflow_json() -> String {
     out
 }
 
+fn ablation_drift_json() -> String {
+    // Small configuration (2 digits per class, 1 trial) — enough to pin
+    // the full statistical pipeline (programming noise, drift, reference
+    // compensation, dual adaptive training) bit-for-bit without turning
+    // the snapshot job into a training benchmark.
+    let rows = ex::ablations::drift::run(ex::ablations::drift::HOUR_POINTS, 2, 1);
+    let mut out = String::from("{\n  \"artifact\": \"ablation_drift\",\n  \"rows\": [\n");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"hours\": {:?}, \"baseline\": {:?}, \"uncompensated\": {:?}, \
+                 \"compensated\": {:?}, \"adaptive\": {:?}, \"trials\": {}}}",
+                r.hours,
+                r.baseline_accuracy,
+                r.uncompensated_accuracy,
+                r.compensated_accuracy,
+                r.adaptive_accuracy,
+                r.trials
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 #[test]
 fn golden_table4() {
     check_golden("table4.json", &table4_json());
@@ -212,6 +239,24 @@ fn golden_fidelity_enob() {
 #[test]
 fn golden_dataflow_map() {
     check_golden("dataflow_map.json", &dataflow_json());
+}
+
+#[test]
+fn golden_ablation_drift() {
+    check_golden("ablation_drift.json", &ablation_drift_json());
+}
+
+/// The statistical device layer must default to OFF everywhere the paper
+/// tables are produced: `EngineOptions::default()` carries no
+/// `StatParams`, so every pre-existing artifact (Tables IV/V, the
+/// fidelity and dataflow snapshots, all non-drift ablations) renders
+/// through the exactly deterministic path and stays byte-identical.
+#[test]
+fn statistical_layer_defaults_off() {
+    use trident::arch::engine::{EngineOptions, PhotonicMlp};
+    assert!(EngineOptions::default().stat.is_none(), "stat layer crept into the defaults");
+    let engine = PhotonicMlp::with_options(&[8, 4], EngineOptions::default());
+    assert!(!engine.stat_enabled(), "default engine must not carry statistical banks");
 }
 
 #[test]
