@@ -216,6 +216,11 @@ impl PhotonicMlp {
         (self.dims[k + 1], self.dims[k])
     }
 
+    /// The layer widths this engine was built with (input first).
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
     /// Tile grid `(row_tiles, col_tiles)` of layer `k`.
     fn tile_grid(&self, k: usize) -> (usize, usize) {
         let (out, inp) = self.layer_dims(k);
@@ -252,6 +257,42 @@ impl PhotonicMlp {
         }
         self.weights[k] = w.iter().map(|&v| self.quantize(v)).collect();
         self.program_layer_forward(k)
+    }
+
+    /// A copy of every layer's master weights, in layer order — the
+    /// portable form of a trained model, ready for
+    /// [`PhotonicMlp::try_deploy_weights`] onto another chip.
+    pub fn snapshot_weights(&self) -> Vec<Vec<f64>> {
+        self.weights.clone()
+    }
+
+    /// Deploy a full weight set (one `Vec` per layer, as produced by
+    /// [`PhotonicMlp::snapshot_weights`]) onto this chip, quantizing and
+    /// reprogramming every bank. The fleet-replica deployment path:
+    /// pretrain once centrally, then push the same weights to N replicas.
+    pub fn try_deploy_weights(&mut self, weights: &[Vec<f64>]) -> Result<(), ArchError> {
+        if weights.len() != self.layer_count() {
+            return Err(ArchError::LayerOutOfRange {
+                layer: weights.len(),
+                layers: self.layer_count(),
+            });
+        }
+        for (k, w) in weights.iter().enumerate() {
+            self.try_set_layer_weights(k, w)?;
+        }
+        Ok(())
+    }
+
+    /// Fork an independent replica of this engine: a fresh chip built
+    /// with `opts` (its own fabrication variation, noise streams, fault
+    /// state, energy and elapsed-time ledgers) carrying this engine's
+    /// current master weights. The replica shares **no** state with the
+    /// parent — the ownership model a serving fleet needs, where every
+    /// replica has its own laser/thermal budget and wear trajectory.
+    pub fn try_fork_replica(&self, opts: EngineOptions) -> Result<Self, ArchError> {
+        let mut replica = Self::try_with_options(&self.dims, opts)?;
+        replica.try_deploy_weights(&self.weights)?;
+        Ok(replica)
     }
 
     /// Inject a sampled fault population into every PE of the engine and
@@ -473,6 +514,18 @@ impl PhotonicMlp {
 
     /// Fallible form of [`PhotonicMlp::forward`].
     pub fn try_forward(&mut self, x: &[f64]) -> Result<Vec<f64>, ArchError> {
+        self.try_forward_stage(x, true)
+    }
+
+    /// Forward one sample through this engine as **one stage of a
+    /// layer-sharded pipeline**. With `tail = true` this is exactly
+    /// [`PhotonicMlp::try_forward`]: the last layer's logits pass through
+    /// unactivated (the network tail, read by the loss). With
+    /// `tail = false` the last layer is an interior layer of a larger
+    /// network split across stage engines, so its rows go through the
+    /// same `latch_and_activate` path every other hidden layer uses and
+    /// the activated vector feeds the next stage.
+    pub fn try_forward_stage(&mut self, x: &[f64], tail: bool) -> Result<Vec<f64>, ArchError> {
         if x.len() != self.dims[0] {
             return Err(ArchError::ShapeMismatch { expected: self.dims[0], got: x.len() });
         }
@@ -517,7 +570,7 @@ impl PhotonicMlp {
                 }
             }
             self.cached_logits.push(h.clone());
-            if k + 1 == layer_count {
+            if k + 1 == layer_count && tail {
                 y = h; // output layer: identity (read by the loss)
             } else {
                 // Activation rows live on the (rt, 0) PEs.

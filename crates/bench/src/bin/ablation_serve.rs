@@ -1,0 +1,25 @@
+//! Serving ablation: dynamic-batching inference over a sharded fleet of
+//! simulated Trident replicas — Poisson and bursty open-loop arrivals,
+//! deadline-aware admission control, p50/p99/p999 latency, goodput, shed
+//! rate, and per-replica energy/wear ledgers.
+//!
+//! Usage: `ablation_serve [per_class] [requests]` (defaults 2, 200).
+//!
+//! With `TRIDENT_SERVE_OUT=<path>` the run additionally writes the
+//! machine-readable per-scenario reports as a JSON array to that path;
+//! stdout stays byte-identical either way.
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let per_class: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    print!("{}", trident::experiments::ablations::serve::render(per_class, requests));
+    if let Ok(path) = std::env::var("TRIDENT_SERVE_OUT") {
+        let reports = trident::experiments::ablations::serve::run(per_class, requests);
+        let body: Vec<String> = reports.iter().map(trident::serve::ServeReport::to_json).collect();
+        let json = format!("[\n{}\n]\n", body.join(",\n"));
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("serve report written to {path}"),
+            Err(e) => eprintln!("failed to write serve report to {path}: {e}"),
+        }
+    }
+}

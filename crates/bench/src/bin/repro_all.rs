@@ -33,6 +33,7 @@ fn main() {
         Box::new(|| ex::ablations::dfa_vs_bp::render(3, 8)),
         Box::new(|| ex::ablations::variation::render(3, 2)),
         Box::new(|| ex::ablations::drift::render(3, 2)),
+        Box::new(|| ex::ablations::serve::render(2, 200)),
     ];
     let sections: Vec<String> = renderers.into_par_iter().map(|render| render()).collect();
     for section in sections {

@@ -448,6 +448,166 @@ pub mod drift {
     }
 }
 
+/// Fleet-serving ablation (ROADMAP item 1): the dynamic-batching
+/// service over N simulated replicas under Poisson and bursty load,
+/// replica-parallel and layer-pipeline sharding.
+pub mod serve {
+    use super::*;
+    use trident_arch::engine::EngineOptions;
+    use trident_serve::{ArrivalProcess, ReplicaProfile, ServeConfig, ServeReport, Sharding};
+
+    /// Network served by every scenario — the repo's standard digit MLP
+    /// (the in-situ training scheme converges well at this depth). The
+    /// same pretrained weights drive the 3-replica parallel fleet and a
+    /// 2-stage layer pipeline (one weight layer per stage).
+    pub const DIMS: [usize; 3] = [64, 16, 10];
+
+    /// Pretrain the shared model once on the synthetic digit task and
+    /// return its deployable weights.
+    fn pretrain(per_class: usize) -> Vec<Vec<f64>> {
+        let data = synthetic_digits(per_class, 0.05, 42);
+        let xs: Vec<Vec<f64>> = (0..data.len())
+            .map(|i| data.inputs.row(i).iter().map(|&v| f64::from(v)).collect())
+            .collect();
+        let mut ideal =
+            PhotonicMlp::with_options(&DIMS, EngineOptions { seed: 11, ..Default::default() });
+        ideal.train(&xs, &data.labels, 0.1, 12);
+        ideal.snapshot_weights()
+    }
+
+    /// The sample pool requests draw from.
+    fn dataset(per_class: usize) -> Vec<(Vec<f64>, usize)> {
+        let data = synthetic_digits(per_class, 0.05, 42);
+        (0..data.len())
+            .map(|i| {
+                let x: Vec<f64> = data.inputs.row(i).iter().map(|&v| f64::from(v)).collect();
+                (x, data.labels[i])
+            })
+            .collect()
+    }
+
+    /// A scenario over the shared model: `replicas` chips with distinct
+    /// fabrication identities and mildly different laser budgets.
+    fn scenario(
+        name: &str,
+        arrivals: ArrivalProcess,
+        sharding: Sharding,
+        replicas: usize,
+        pretrained: Vec<Vec<f64>>,
+        dataset: Vec<(Vec<f64>, usize)>,
+        requests: usize,
+    ) -> ServeConfig {
+        let profiles = (0..replicas)
+            .map(|i| ReplicaProfile {
+                variation_seed: 100 + i as u64,
+                noise_seed: None,
+                // Replica 0 runs at full power; later replicas droop a
+                // little more each — independent laser budgets.
+                laser_droop: 0.02 * i as f64,
+                pre_age_hours: 0.0,
+            })
+            .collect();
+        ServeConfig {
+            scenario: name.to_string(),
+            seed: 2024,
+            dims: DIMS.to_vec(),
+            engine: EngineOptions::default(),
+            pretrained: Some(pretrained),
+            dataset,
+            replicas: profiles,
+            sharding,
+            batch_max: 8,
+            linger_ns: 5_000,
+            slo_ns: 30_000,
+            est_ns_per_item_init: 4_000,
+            arrivals,
+            requests,
+            fault_events: Vec::new(),
+        }
+    }
+
+    /// Run the three standard scenarios — Poisson and bursty arrivals
+    /// over a 3-replica parallel fleet, then Poisson over a 2-stage
+    /// layer pipeline — sharing one pretrained model.
+    pub fn run(per_class: usize, requests: usize) -> Vec<ServeReport> {
+        let weights = pretrain(per_class);
+        let pool = dataset(per_class);
+        let poisson = ArrivalProcess::Poisson { mean_interarrival_ns: 15_000 };
+        // Bursts arrive at ~10 requests/µs — denser than the fleet's
+        // aggregate service rate, so queues build inside a burst and
+        // admission control has real shedding decisions to make.
+        let bursty = ArrivalProcess::Bursty {
+            on_mean_ns: 30_000,
+            off_mean_ns: 120_000,
+            on_interarrival_ns: 100,
+        };
+        [
+            ("poisson/replica-parallel", poisson, Sharding::ReplicaParallel, 3),
+            ("bursty/replica-parallel", bursty, Sharding::ReplicaParallel, 3),
+            ("poisson/layer-pipeline", poisson, Sharding::LayerPipeline, 2),
+        ]
+        .into_iter()
+        .filter_map(|(name, arrivals, sharding, replicas)| {
+            trident_serve::sim::run(&scenario(
+                name,
+                arrivals,
+                sharding,
+                replicas,
+                weights.clone(),
+                pool.clone(),
+                requests,
+            ))
+            .ok()
+        })
+        .collect()
+    }
+
+    /// Render the serving ablation: the headline latency/goodput table
+    /// plus a per-replica energy/wear table.
+    pub fn render(per_class: usize, requests: usize) -> String {
+        let reports = run(per_class, requests);
+        let mut t = TextTable::new(
+            "Ablation: fleet serving — dynamic batching under SLO (3 replicas)",
+            &[
+                "scenario", "offered", "served", "shed", "p50 us", "p99 us", "p999 us",
+                "goodput rps", "SLO miss", "acc.",
+            ],
+        );
+        for r in &reports {
+            t.row(&[
+                r.scenario.clone(),
+                format!("{}", r.offered),
+                format!("{}", r.served),
+                format!("{:.1}%", r.shed_rate() * 100.0),
+                f(r.p50_ns as f64 / 1000.0, 1),
+                f(r.p99_ns as f64 / 1000.0, 1),
+                f(r.p999_ns as f64 / 1000.0, 1),
+                f(r.goodput_rps(), 0),
+                format!("{}", r.slo_misses),
+                format!("{:.1}%", r.served_accuracy() * 100.0),
+            ]);
+        }
+        let mut per_replica = TextTable::new(
+            "Per-replica serving ledger (energy excludes deployment programming)",
+            &["scenario", "replica", "requests", "batches", "busy us", "energy nJ", "masked"],
+        );
+        for r in &reports {
+            for rep in &r.replicas {
+                per_replica.row(&[
+                    r.scenario.clone(),
+                    format!("{}", rep.id),
+                    format!("{}", rep.requests),
+                    format!("{}", rep.batches),
+                    f(rep.busy_ns as f64 / 1000.0, 1),
+                    f(rep.energy_pj / 1000.0, 1),
+                    format!("{}", rep.masked_rings),
+                ]);
+            }
+        }
+        format!("{}\n{}", t.render(), per_replica.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,7 @@ pub use trident_nn as nn;
 pub use trident_obs as obs;
 pub use trident_pcm as pcm;
 pub use trident_photonics as photonics;
+pub use trident_serve as serve;
 pub use trident_workload as workload;
 
 pub mod experiments;

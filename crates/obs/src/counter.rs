@@ -105,6 +105,14 @@ counters! {
     CompensationFj => "compensation_fj",
     /// Adaptive-training systematic-error-model updates.
     ErrorModelUpdates => "error_model_updates",
+    /// Inference requests admitted by the serving front-end.
+    ServeRequests => "serve_requests",
+    /// Batches dispatched to fleet replicas by the dynamic batcher.
+    ServeBatches => "serve_batches",
+    /// Requests shed by deadline-aware admission control.
+    ServeShedRequests => "serve_shed_requests",
+    /// Served requests that completed after their SLO deadline.
+    ServeSloMisses => "serve_slo_misses",
 }
 
 /// Convert a picojoule quantity to integer femtojoules, saturating and

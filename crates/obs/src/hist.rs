@@ -1,0 +1,269 @@
+//! Lock-free mergeable latency histogram with fixed log-spaced buckets.
+//!
+//! The serving layer needs tail percentiles (p50/p99/p999) over request
+//! latencies that are (a) recordable from any thread without locks,
+//! (b) mergeable across replicas/shards with the same algebra the
+//! [`CounterSnapshot`](crate::counter::CounterSnapshot) uses — wrapping
+//! `u64` addition, so merge is total, associative, and commutative by
+//! construction — and (c) bitwise deterministic: every operation is
+//! integer arithmetic on nanosecond counts, so a report built from a
+//! histogram is byte-identical at any thread count.
+//!
+//! ## Bucket scheme
+//!
+//! Buckets are **fixed at compile time** (no dynamic resizing, no
+//! rebucketing on merge): values 0–3 ns get exact singleton buckets, and
+//! every octave `[2^e, 2^(e+1))` above that is split into 4 sub-buckets
+//! by the two mantissa bits below the leading bit. That bounds the
+//! relative quantile error at ~12.5% per bucket while covering the full
+//! `u64` range (584 years in nanoseconds) in [`BUCKETS`] slots.
+//! Quantile estimates return the **inclusive upper bound** of the bucket
+//! containing the requested rank, so estimates are monotone in the rank
+//! and never under-report a latency SLO violation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (2 mantissa bits).
+const SUBS: u64 = 4;
+
+/// Number of histogram buckets: 4 exact singletons for 0–3, then 4
+/// sub-buckets for each octave `2^2 ..= 2^63`. Indices 4–7 are unused by
+/// construction (octave 2 starts at index 8) and always hold zero.
+pub const BUCKETS: usize = 256;
+
+/// Bucket index of a nanosecond value. Total over all of `u64`.
+fn bucket_index_of_ns(ns: u64) -> usize {
+    if ns < SUBS {
+        // try_from(u64 -> usize) cannot fail for values < 4; the
+        // fallback keeps this branch panic-free by construction.
+        return usize::try_from(ns).unwrap_or(0);
+    }
+    // Exponent of the leading bit (>= 2 here) and the two bits below it.
+    let e = u64::from(63 - ns.leading_zeros());
+    let mantissa = (ns >> (e - 2)) & (SUBS - 1);
+    usize::try_from(SUBS * e + mantissa).unwrap_or(BUCKETS - 1)
+}
+
+/// Inclusive `(lower_ns, upper_ns)` bounds of one bucket. The unused
+/// indices 4–7 report exact singleton bounds so the bound table stays
+/// total and contiguous.
+pub fn bucket_bounds_ns(index: usize) -> (u64, u64) {
+    let i = u64::try_from(index.min(BUCKETS - 1)).unwrap_or(0);
+    if i < 2 * SUBS {
+        return (i, i);
+    }
+    let e = i / SUBS;
+    let mantissa = i % SUBS;
+    let width = 1u64 << (e - 2);
+    let lower = (SUBS + mantissa) << (e - 2);
+    (lower, lower.wrapping_add(width).wrapping_sub(1))
+}
+
+/// Lock-free live histogram: one atomic counter per bucket.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+
+    /// Record one nanosecond observation (wrapping on overflow).
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index_of_ns(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every bucket.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Reset every bucket to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable copy of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl HistSnapshot {
+    /// The empty snapshot (the merge identity).
+    pub fn zero() -> Self {
+        Self { buckets: [0; BUCKETS] }
+    }
+
+    /// Build from explicit bucket counts (test support).
+    pub fn from_buckets(buckets: [u64; BUCKETS]) -> Self {
+        Self { buckets }
+    }
+
+    /// Count in one bucket.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index.min(BUCKETS - 1)]
+    }
+
+    /// Total recorded observations (wrapping sum, consistent with the
+    /// wrapping per-bucket merge).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |acc, &b| acc.wrapping_add(b))
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&b| b == 0)
+    }
+
+    /// Merge another snapshot into this one, bucket by bucket. Wrapping
+    /// `u64` addition — the same algebra as
+    /// [`CounterSnapshot::merge`](crate::counter::CounterSnapshot::merge),
+    /// so the merge is total, associative, and commutative (pinned by the
+    /// histogram proptests).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            buckets: std::array::from_fn(|i| {
+                self.buckets[i].wrapping_add(other.buckets[i])
+            }),
+        }
+    }
+
+    /// Upper-bound estimate of the `numer/denom` quantile in nanoseconds
+    /// (e.g. `(50, 100)` for p50, `(999, 1000)` for p999): the inclusive
+    /// upper bound of the bucket holding the rank-`ceil(count·q)`
+    /// observation. Pure integer arithmetic (ranks computed in `u128`),
+    /// so estimates are deterministic and monotone in the quantile.
+    /// Returns 0 for an empty histogram or a zero quantile.
+    pub fn quantile_upper_ns(&self, numer: u64, denom: u64) -> u64 {
+        let total = self.count();
+        if total == 0 || numer == 0 || denom == 0 {
+            return 0;
+        }
+        // rank = ceil(total * numer / denom), clamped into [1, total].
+        let product = u128::from(total) * u128::from(numer);
+        let rank128 = product.div_ceil(u128::from(denom));
+        let rank = u64::try_from(rank128).unwrap_or(u64::MAX).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen = seen.wrapping_add(b);
+            if seen >= rank {
+                return bucket_bounds_ns(i).1;
+            }
+        }
+        // Unreachable when counts did not wrap; degrade to the max bound.
+        bucket_bounds_ns(BUCKETS - 1).1
+    }
+
+    /// Upper bound of the highest non-empty bucket (an approximate max).
+    pub fn max_upper_ns(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &b)| b != 0)
+            .map(|(i, _)| bucket_bounds_ns(i).1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4u64 {
+            let (lo, hi) = bucket_bounds_ns(bucket_index_of_ns(v));
+            assert_eq!((lo, hi), (v, v));
+        }
+    }
+
+    #[test]
+    fn every_value_lands_inside_its_bucket_bounds() {
+        for &v in &[0u64, 1, 3, 4, 5, 7, 8, 100, 999, 1_000_000, u64::MAX / 3, u64::MAX] {
+            let idx = bucket_index_of_ns(v);
+            let (lo, hi) = bucket_bounds_ns(idx);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {idx} [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_line() {
+        // Consecutive *used* buckets are contiguous: each upper + 1 is
+        // the next used bucket's lower.
+        let used: Vec<usize> =
+            (0..BUCKETS).filter(|&i| !(4..8).contains(&i)).collect();
+        for pair in used.windows(2) {
+            let (_, hi) = bucket_bounds_ns(pair[0]);
+            let (lo, _) = bucket_bounds_ns(pair[1]);
+            assert_eq!(hi.wrapping_add(1), lo, "gap between buckets {} and {}", pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles_round_trip() {
+        let h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record_ns(v * 1000);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 100);
+        let p50 = snap.quantile_upper_ns(50, 100);
+        let p99 = snap.quantile_upper_ns(99, 100);
+        // Upper-bound estimates: never below the true quantile, within
+        // one bucket width (~12.5%) above it.
+        assert!((50_000..=57_500).contains(&p50), "p50 {p50}");
+        assert!((99_000..=114_687).contains(&p99), "p99 {p99}");
+        assert!(snap.quantile_upper_ns(999, 1000) >= p99);
+        assert!(snap.max_upper_ns() >= 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let snap = HistSnapshot::zero();
+        assert!(snap.is_empty());
+        assert_eq!(snap.quantile_upper_ns(99, 100), 0);
+        assert_eq!(snap.max_upper_ns(), 0);
+    }
+
+    #[test]
+    fn merge_adds_bucket_counts() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        a.record_ns(10);
+        a.record_ns(1000);
+        b.record_ns(10);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.bucket(bucket_index_of_ns(10)), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = LatencyHistogram::new();
+        h.record_ns(42);
+        h.reset();
+        assert!(h.snapshot().is_empty());
+    }
+}

@@ -44,10 +44,12 @@
 pub mod clock;
 pub mod counter;
 pub mod export;
+pub mod hist;
 pub mod ring;
 pub mod span;
 
 pub use counter::{Counter, CounterSet, CounterSnapshot};
+pub use hist::{HistSnapshot, LatencyHistogram};
 pub use span::{current_depth, Event, SpanGuard};
 
 use clock::{Clock, MonotonicClock};

@@ -1,0 +1,126 @@
+//! Property tests for the latency histogram (PR 7 satellite):
+//!
+//! * snapshot merge is associative and commutative with the all-zero
+//!   snapshot as identity — the same wrapping-`u64` algebra the counter
+//!   proptests pin, so fleet-wide histograms can be folded in any order;
+//! * quantile estimates are monotone in the quantile and bracket every
+//!   recorded value: an estimate is never below the true value's bucket
+//!   lower bound and never below the value itself (upper-bound policy);
+//! * recording never loses a count: the snapshot total equals the number
+//!   of `record_ns` calls, regardless of the values recorded.
+
+#![allow(clippy::unwrap_used, clippy::cast_lossless)]
+
+use proptest::prelude::*;
+use trident_obs::hist::{bucket_bounds_ns, HistSnapshot, LatencyHistogram, BUCKETS};
+
+fn snap_from(counts: &[u64]) -> HistSnapshot {
+    let mut all = [0u64; BUCKETS];
+    for (slot, &v) in all.iter_mut().zip(counts) {
+        *slot = v;
+    }
+    HistSnapshot::from_buckets(all)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(0u64..u64::MAX, BUCKETS),
+        b in proptest::collection::vec(0u64..u64::MAX, BUCKETS),
+    ) {
+        let (sa, sb) = (snap_from(&a), snap_from(&b));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..u64::MAX, BUCKETS),
+        b in proptest::collection::vec(0u64..u64::MAX, BUCKETS),
+        c in proptest::collection::vec(0u64..u64::MAX, BUCKETS),
+    ) {
+        let (sa, sb, sc) = (snap_from(&a), snap_from(&b), snap_from(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    #[test]
+    fn merge_identity_is_zero(
+        a in proptest::collection::vec(0u64..u64::MAX, BUCKETS),
+    ) {
+        let sa = snap_from(&a);
+        prop_assert_eq!(sa.merge(&HistSnapshot::zero()), sa);
+        prop_assert_eq!(HistSnapshot::zero().merge(&sa), sa);
+    }
+
+    #[test]
+    fn recording_never_loses_counts(values in proptest::collection::vec(0u64..u64::MAX, 0..256)) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        prop_assert_eq!(h.snapshot().count(), values.len() as u64);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_rank(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..128),
+        quantile_permille in proptest::collection::vec(1u64..=1000, 2..8),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = quantile_permille;
+        sorted.sort_unstable();
+        let estimates: Vec<u64> =
+            sorted.iter().map(|&q| snap.quantile_upper_ns(q, 1000)).collect();
+        for pair in estimates.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantile estimates not monotone: {estimates:?}");
+        }
+    }
+
+    #[test]
+    fn quantile_upper_bound_brackets_true_quantile(
+        values in proptest::collection::vec(0u64..u64::MAX, 1..128),
+        numer in 1u64..=1000,
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let snap = h.snapshot();
+        let estimate = snap.quantile_upper_ns(numer, 1000);
+        // True quantile under the same ceil-rank convention.
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let total = sorted.len() as u64;
+        let rank = ((u128::from(total) * u128::from(numer)).div_ceil(1000)).max(1);
+        let truth = sorted[usize::try_from(rank - 1).unwrap()];
+        // Upper-bound policy: never below the true quantile, and never
+        // above the upper bound of the bucket holding the true quantile
+        // (since the estimate's bucket rank is exact over buckets).
+        prop_assert!(estimate >= truth, "estimate {estimate} below true quantile {truth}");
+        let idx = (0..BUCKETS)
+            .find(|&i| {
+                let (lo, hi) = bucket_bounds_ns(i);
+                lo <= truth && truth <= hi
+            })
+            .unwrap();
+        prop_assert_eq!(estimate, snap.quantile_upper_ns(numer, 1000));
+        prop_assert!(
+            estimate <= bucket_bounds_ns(idx).1,
+            "estimate {} above bucket upper bound {}", estimate, bucket_bounds_ns(idx).1
+        );
+    }
+
+    #[test]
+    fn every_recorded_value_is_inside_its_bucket(v in 0u64..u64::MAX) {
+        let h = LatencyHistogram::new();
+        h.record_ns(v);
+        let snap = h.snapshot();
+        let idx = (0..BUCKETS).find(|&i| snap.bucket(i) == 1).unwrap();
+        let (lo, hi) = bucket_bounds_ns(idx);
+        prop_assert!(lo <= v && v <= hi, "value {v} outside bucket {idx} [{lo}, {hi}]");
+        prop_assert!(snap.max_upper_ns() >= v);
+    }
+}

@@ -51,6 +51,7 @@ fn artifacts_identical_with_tracing_on_and_off() {
         ("ablation.dfa_vs_bp", || ex::ablations::dfa_vs_bp::render(3, 8)),
         ("ablation.variation", || ex::ablations::variation::render(3, 2)),
         ("ablation.drift", || ex::ablations::drift::render(2, 1)),
+        ("ablation.serve", || ex::ablations::serve::render(2, 60)),
     ];
     for (name, render) in &sections {
         assert_eq!(
@@ -95,6 +96,14 @@ fn artifacts_identical_with_tracing_on_and_off() {
     assert!(
         snap.counters.get(obs::Counter::DataflowLayersMapped) > 0,
         "tracing recorded no dataflow activity"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::ServeRequests) > 0,
+        "tracing recorded no serving activity"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::ServeBatches) > 0,
+        "tracing recorded no served batches"
     );
     assert!(!snap.events.is_empty(), "tracing recorded no spans");
     obs::reset();

@@ -61,6 +61,22 @@ pub struct ExecutorStats {
     pub threads_spawned: u64,
 }
 
+impl ExecutorStats {
+    /// The activity between an `earlier` snapshot and this one, field by
+    /// field with wrapping subtraction — the lifetime tallies are
+    /// process-global, so a caller that wants "what did *my* region do"
+    /// snapshots before and after and diffs. Wrapping keeps the diff
+    /// total even if a tally laps `u64` between the two snapshots.
+    pub fn since(&self, earlier: &ExecutorStats) -> ExecutorStats {
+        ExecutorStats {
+            parallel_regions: self.parallel_regions.wrapping_sub(earlier.parallel_regions),
+            sequential_regions: self.sequential_regions.wrapping_sub(earlier.sequential_regions),
+            chunks_claimed: self.chunks_claimed.wrapping_sub(earlier.chunks_claimed),
+            threads_spawned: self.threads_spawned.wrapping_sub(earlier.threads_spawned),
+        }
+    }
+}
+
 static STAT_PARALLEL: AtomicU64 = AtomicU64::new(0);
 static STAT_SEQUENTIAL: AtomicU64 = AtomicU64::new(0);
 static STAT_CHUNKS: AtomicU64 = AtomicU64::new(0);
