@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use trident_obs as obs;
 use trident_pcm::gst::{GstFault, GstParameters, WriteVerifyPolicy};
-use trident_pcm::stat::{seeded_gaussian, DegradationClock, StatParams, STREAM_NU, STREAM_PROG, STREAM_READ};
+use trident_pcm::stat::{seeded_gaussian, DegradationClock, StatParams, STREAM_PCM_NU, STREAM_PCM_PROG, STREAM_PCM_READ};
 use trident_pcm::weight::{PcmMrr, WeightLut};
 use trident_pcm::PcmError;
 use trident_photonics::ledger::EnergyLedger;
@@ -568,7 +568,7 @@ impl WeightBank {
         let n = self.rows * self.cols;
         let now = self.clock.now();
         let nu = (0..n)
-            .map(|i| params.nu_slope(seeded_gaussian(bank_seed, STREAM_NU, i as u64)))
+            .map(|i| params.nu_slope(seeded_gaussian(bank_seed, STREAM_PCM_NU, i as u64)))
             .collect();
         self.stat = Some(BankStat {
             params,
@@ -621,7 +621,7 @@ impl WeightBank {
         let now = self.clock.now();
         let Some(stat) = self.stat.as_mut() else { return };
         let sigma = stat.params.prog_sigma_weight(level, levels);
-        let g = seeded_gaussian(stat.bank_seed, STREAM_PROG, stat.prog_draws);
+        let g = seeded_gaussian(stat.bank_seed, STREAM_PCM_PROG, stat.prog_draws);
         stat.prog_draws += 1;
         stat.prog_offset[idx] = sigma * g;
         stat.prog_at[idx] = now;
@@ -795,7 +795,7 @@ impl WeightBank {
                 acc += coeff * stat.factor[idx] * x[j];
             }
             let noise = stat.params.read_sigma_weight
-                * seeded_gaussian(stat.bank_seed, STREAM_READ, stat.read_draws);
+                * seeded_gaussian(stat.bank_seed, STREAM_PCM_READ, stat.read_draws);
             stat.read_draws += 1;
             y.push((acc / scale + noise) * stat.gain);
         }
@@ -845,7 +845,7 @@ impl WeightBank {
             det
         } else {
             let noise = stat.params.read_sigma_weight
-                * seeded_gaussian(stat.bank_seed, STREAM_READ, stat.read_draws);
+                * seeded_gaussian(stat.bank_seed, STREAM_PCM_READ, stat.read_draws);
             stat.read_draws += 1;
             if obs::enabled() {
                 obs::add(obs::Counter::StatNoiseSamples, 1);

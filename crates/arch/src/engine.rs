@@ -29,6 +29,7 @@ use trident_pcm::gst::{GstFault, WriteVerifyPolicy};
 use trident_pcm::stat::StatParams;
 use trident_photonics::ledger::EnergyLedger;
 use trident_photonics::units::{count, EnergyPj, Hours, Nanoseconds};
+use trident_streams::bank_identity;
 
 /// Activation slope of the GST cell (Fig. 3).
 const GST_SLOPE: f64 = 0.34;
@@ -183,20 +184,20 @@ impl PhotonicMlp {
             let (rt, ct) = engine.tile_grid(k);
             let mut layer_pes = Vec::with_capacity(rt * ct);
             for t in 0..rt * ct {
-                let seed = noise_seed.map(|s| s.wrapping_add((k * 1000 + t) as u64));
+                let seed = noise_seed.map(|s| bank_identity(s, k, t));
                 let mut pe = ProcessingElement::with_variation(
                     bank_rows,
                     bank_cols,
                     seed,
                     resonance_sigma_nm,
-                    variation_seed.wrapping_add((k * 1000 + t) as u64),
+                    bank_identity(variation_seed, k, t),
                 );
                 if let Some(params) = stat {
                     // Per-bank identity mixed into the master seed, the
                     // same (k, t) convention the receiver-noise and
-                    // variation draws use.
-                    pe.bank_mut()
-                        .enable_stat(params, params.seed.wrapping_add((k * 1000 + t) as u64));
+                    // variation draws use (trident-streams owns the
+                    // derivation arithmetic).
+                    pe.bank_mut().enable_stat(params, bank_identity(params.seed, k, t));
                 }
                 layer_pes.push(pe);
             }

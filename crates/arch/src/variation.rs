@@ -11,7 +11,7 @@
 //! Gaussian resonance offsets, measure the accuracy drop, then fine-tune
 //! *in-situ on the same imperfect chip* and measure the recovery. Sigma
 //! points and the chip trials inside them fan out on the executor; every
-//! chip draws its variation from `1000 + trial`, and the per-sigma
+//! chip draws its variation from `trial_identity(1000, trial)`, and the per-sigma
 //! accuracy sums fold in trial order, so rows are bitwise identical at
 //! any `TRIDENT_THREADS` setting (DESIGN.md §11).
 
@@ -21,6 +21,13 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use trident_pcm::stat::StatParams;
 use trident_photonics::units::Hours;
+use trident_streams::trial_identity;
+
+/// Base of the per-trial fabrication-identity seed space: chip `t` of a
+/// variation study is `trial_identity(VARIATION_CHIP_BASE, t)`. Offset
+/// from zero so study chips never collide with the engine's default
+/// `variation_seed: 0` identity.
+const VARIATION_CHIP_BASE: u64 = 1000;
 
 /// Result at one variation magnitude.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,7 +119,10 @@ impl VariationStudy {
                             EngineOptions {
                                 seed: 11,
                                 resonance_sigma_nm: sigma_nm,
-                                variation_seed: 1000 + trial as u64,
+                                variation_seed: trial_identity(
+                                    VARIATION_CHIP_BASE,
+                                    trial as u64,
+                                ),
                                 ..Default::default()
                             },
                         );
@@ -231,7 +241,7 @@ impl DriftStudy {
                     .into_par_iter()
                     .map(|trial| {
                         let stat = StatParams {
-                            seed: self.stat.seed.wrapping_add(trial as u64),
+                            seed: trial_identity(self.stat.seed, trial as u64),
                             ..self.stat
                         };
                         let mut chip = PhotonicMlp::with_options(

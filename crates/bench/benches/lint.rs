@@ -1,0 +1,24 @@
+//! Criterion benchmark of the linter itself: a full workspace sweep —
+//! mask, tokenize, call-graph build, every rule family, allowlist
+//! matching — over the real repo tree. The linter runs on every CI
+//! push, so its wall-clock is part of the development loop.
+
+#![allow(clippy::unwrap_used)]
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::path::Path;
+
+fn lint_scan_workspace(c: &mut Criterion) {
+    // crates/bench → the workspace root the linter walks.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap();
+    let allow = trident_lint::load_allowlist(&root).unwrap();
+    c.bench_function("lint_scan_workspace", |b| {
+        b.iter(|| {
+            let report = trident_lint::run(black_box(&root), black_box(&allow)).unwrap();
+            assert!(report.is_clean(), "bench tree must stay lint-clean");
+            black_box(report.files_scanned)
+        })
+    });
+}
+
+criterion_group!(benches, lint_scan_workspace);
+criterion_main!(benches);

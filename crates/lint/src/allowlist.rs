@@ -194,6 +194,7 @@ reason = "documented panic front-doors"
             line: 10,
             rule: "no-panic",
             scope: Some("forward".into()),
+            callers: Vec::new(),
             message: String::new(),
         };
         let miss = Finding { scope: Some("train".into()), ..hit.clone() };

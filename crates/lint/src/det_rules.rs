@@ -1,0 +1,230 @@
+//! Determinism rules.
+//!
+//! The repro contract (DESIGN.md, `repro_all`) is byte-identity: every
+//! table and trace must be a pure function of the config and seeds, at
+//! any thread count, with or without tracing. These rules reject the
+//! four ways that contract silently breaks:
+//!
+//! | rule             | scope                    | what it rejects                         |
+//! |------------------|--------------------------|-----------------------------------------|
+//! | `det-hash-iter`  | output-affecting crates  | `HashMap`/`HashSet` (iteration order is hash-state-dependent; use `BTreeMap`/`BTreeSet`) |
+//! | `det-wall-clock` | everywhere but `obs/clock.rs` | `Instant::now` / `SystemTime::now` (route time through `obs`'s `Clock` trait) |
+//! | `det-thread-env` | everywhere scanned       | `available_parallelism` / `thread::current` (results must not depend on core count or thread identity) |
+//! | `det-raw-thread` | output-affecting crates  | `thread::spawn` / `thread::scope` (float reductions must go through the vendored rayon facade's ordered folds) |
+//!
+//! "Output-affecting" means the crate computes numbers that land in a
+//! report, table, or trace payload: everything except the linter itself,
+//! the bench harness, and `obs` (whose wall-clock and thread-ordinal
+//! use is presentation metadata, confined to `clock.rs` /
+//! thread-locals, and excluded from byte-identity by design).
+
+use crate::rules::Finding;
+use crate::scanner::Token;
+
+/// Crate directories whose code paths feed the repro'd outputs.
+pub const OUTPUT_AFFECTING: &[&str] = &[
+    "arch", "baselines", "core", "nn", "pcm", "photonics", "serve", "streams", "workload",
+];
+
+/// The one file allowed to read the wall clock: the `Clock` trait's
+/// real implementation.
+pub const WALL_CLOCK_HOME: &str = "crates/obs/src/clock.rs";
+
+/// Is this repo-relative path inside an output-affecting crate?
+pub fn is_output_affecting(rel: &str) -> bool {
+    let p = rel.replace('\\', "/");
+    p.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .is_some_and(|krate| OUTPUT_AFFECTING.contains(&krate))
+}
+
+/// Run the determinism rules over one tokenized file. `enabled` gates
+/// each rule id.
+pub fn check_file(
+    rel: &str,
+    tokens: &[Token],
+    enabled: impl Fn(&str) -> bool,
+    findings: &mut Vec<Finding>,
+) {
+    let output_affecting = is_output_affecting(rel);
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Some(word) = t.word() else { continue };
+        // `X::y` = Word(X) Punct(':') Punct(':') Word(y).
+        let path_next = |from: usize| -> Option<&str> {
+            if tokens.get(from + 1).is_some_and(|p| p.is_punct(':'))
+                && tokens.get(from + 2).is_some_and(|p| p.is_punct(':'))
+            {
+                tokens.get(from + 3).and_then(Token::word)
+            } else {
+                None
+            }
+        };
+        match word {
+            "HashMap" | "HashSet" if enabled("det-hash-iter") && output_affecting => {
+                findings.push(finding(
+                    rel,
+                    t,
+                    "det-hash-iter",
+                    format!(
+                        "`{word}` in an output-affecting crate; iteration order depends on \
+                         hash state — use `BTree{}`",
+                        &word[4..]
+                    ),
+                ));
+            }
+            "Instant" | "SystemTime"
+                if enabled("det-wall-clock")
+                    && rel != WALL_CLOCK_HOME
+                    && path_next(i) == Some("now") =>
+            {
+                findings.push(finding(
+                    rel,
+                    t,
+                    "det-wall-clock",
+                    format!(
+                        "`{word}::now()` outside `{WALL_CLOCK_HOME}`; take a `Clock` from \
+                         `trident-obs` so traces replay deterministically"
+                    ),
+                ));
+            }
+            "available_parallelism" if enabled("det-thread-env") => {
+                findings.push(finding(
+                    rel,
+                    t,
+                    "det-thread-env",
+                    "`available_parallelism()` makes results depend on the host's core \
+                     count; thread count must come from explicit config"
+                        .to_string(),
+                ));
+            }
+            "thread"
+                if enabled("det-thread-env") && path_next(i) == Some("current") =>
+            {
+                findings.push(finding(
+                    rel,
+                    t,
+                    "det-thread-env",
+                    "`thread::current()` identity must not influence results; derive \
+                     per-worker behaviour from explicit shard indices"
+                        .to_string(),
+                ));
+            }
+            "thread"
+                if enabled("det-raw-thread")
+                    && output_affecting
+                    && matches!(path_next(i), Some("spawn") | Some("scope")) =>
+            {
+                let callee = path_next(i).unwrap_or("spawn");
+                findings.push(finding(
+                    rel,
+                    t,
+                    "det-raw-thread",
+                    format!(
+                        "raw `thread::{callee}` in an output-affecting crate; float \
+                         reductions must flow through the vendored rayon facade's ordered \
+                         folds (or reassemble results in a schedule-independent order)"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+fn finding(rel: &str, t: &Token, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: rel.to_string(),
+        line: t.line,
+        rule,
+        scope: t.enclosing_fn.clone(),
+        callers: Vec::new(),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::{mask, tokenize};
+
+    fn check(rel: &str, src: &str) -> Vec<Finding> {
+        let tokens = tokenize(&mask(src));
+        let mut out = Vec::new();
+        check_file(rel, &tokens, |_| true, &mut out);
+        out
+    }
+
+    #[test]
+    fn hash_map_flagged_only_in_output_affecting_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        let hits = check("crates/arch/src/cache.rs", src);
+        assert!(hits.iter().all(|f| f.rule == "det-hash-iter"));
+        assert_eq!(hits.len(), 3);
+        assert!(check("crates/lint/src/rules.rs", src).is_empty());
+    }
+
+    #[test]
+    fn btree_map_is_sanctioned() {
+        let src = "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }";
+        assert!(check("crates/arch/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_reads_are_flagged_outside_the_clock_home() {
+        let src = "fn stamp() -> std::time::Instant { std::time::Instant::now() }";
+        let hits = check("crates/workload/src/timing.rs", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "det-wall-clock");
+        assert_eq!(hits[0].scope.as_deref(), Some("stamp"));
+        assert!(check(WALL_CLOCK_HOME, src).is_empty(), "clock.rs is the sanctioned home");
+    }
+
+    #[test]
+    fn instant_type_annotations_alone_are_not_flagged() {
+        let src = "fn keep(t: std::time::Instant) -> std::time::Instant { t }";
+        assert!(check("crates/workload/src/timing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn system_time_now_is_flagged() {
+        let src = "fn f() { let _ = std::time::SystemTime::now(); }";
+        assert_eq!(check("crates/serve/src/shards.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn thread_env_probes_are_flagged_everywhere() {
+        let src = "fn f() -> usize { std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }";
+        let hits = check("crates/lint/src/lib.rs", src);
+        assert!(hits.iter().any(|f| f.rule == "det-thread-env"), "{hits:?}");
+        let src2 = "fn f() { let id = std::thread::current().id(); }";
+        assert!(check("crates/obs/src/span.rs", src2)
+            .iter()
+            .any(|f| f.rule == "det-thread-env"));
+    }
+
+    #[test]
+    fn raw_threads_flagged_only_in_output_affecting_crates() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        let hits = check("crates/serve/src/shards.rs", src);
+        assert_eq!(hits.iter().filter(|f| f.rule == "det-raw-thread").count(), 1);
+        assert!(check("crates/obs/src/span.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; fn t() { let _ = std::time::Instant::now(); } }";
+        assert!(check("crates/arch/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rule_gating_is_respected() {
+        let src = "use std::collections::HashMap;";
+        let tokens = tokenize(&mask(src));
+        let mut out = Vec::new();
+        check_file("crates/arch/src/cache.rs", &tokens, |r| r != "det-hash-iter", &mut out);
+        assert!(out.is_empty());
+    }
+}

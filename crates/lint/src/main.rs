@@ -2,17 +2,28 @@
 //!
 //! ```text
 //! trident-lint [--root PATH] [--format text|json] [--allowlist PATH]
+//!              [--rules LIST] [--check-allowlist]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O failure.
+//! `--rules` takes a comma-separated list of rule ids and/or family
+//! names (`panic`, `units`, `error`, `determinism`, `stream`); the
+//! default is every rule. `--check-allowlist` additionally fails the
+//! run when the allowlist has stale entries or exceeds the
+//! 10-entry budget.
+//!
+//! Exit codes: 0 = clean, 1 = findings (or allowlist debt under
+//! `--check-allowlist`), 2 = usage or I/O failure.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use trident_lint::{RuleFilter, ALLOWLIST_BUDGET};
 
 struct Args {
     root: PathBuf,
     format: Format,
     allowlist: Option<PathBuf>,
+    rules: RuleFilter,
+    check_allowlist: bool,
 }
 
 #[derive(PartialEq)]
@@ -26,6 +37,8 @@ fn parse_args() -> Result<Args, String> {
         root: PathBuf::from("."),
         format: Format::Text,
         allowlist: None,
+        rules: RuleFilter::all(),
+        check_allowlist: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -38,6 +51,11 @@ fn parse_args() -> Result<Args, String> {
                 args.allowlist =
                     Some(PathBuf::from(it.next().ok_or("--allowlist needs a path argument")?));
             }
+            "--rules" => {
+                let spec = it.next().ok_or("--rules needs a comma-separated list")?;
+                args.rules = RuleFilter::parse(&spec)?;
+            }
+            "--check-allowlist" => args.check_allowlist = true,
             "--format" => match it.next().as_deref() {
                 Some("text") => args.format = Format::Text,
                 Some("json") => args.format = Format::Json,
@@ -48,8 +66,10 @@ fn parse_args() -> Result<Args, String> {
                 }
             },
             "--help" | "-h" => {
-                return Err("usage: trident-lint [--root PATH] [--format text|json] [--allowlist PATH]"
-                    .to_string())
+                return Err(
+                    "usage: trident-lint [--root PATH] [--format text|json] [--allowlist PATH] [--rules LIST] [--check-allowlist]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -87,7 +107,7 @@ fn main() -> ExitCode {
             }
         },
     };
-    let report = match trident_lint::run(&args.root, &allow) {
+    let report = match trident_lint::run_filtered(&args.root, &allow, &args.rules) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -98,9 +118,29 @@ fn main() -> ExitCode {
         Format::Text => print!("{}", report.to_text()),
         Format::Json => print!("{}", report.to_json()),
     }
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
+    let mut failed = !report.is_clean();
+    if args.check_allowlist {
+        if allow.len() > ALLOWLIST_BUDGET {
+            eprintln!(
+                "lint-allow.toml: {} entries exceed the budget of {ALLOWLIST_BUDGET}; \
+                 pay down exemptions before adding more",
+                allow.len()
+            );
+            failed = true;
+        }
+        if !report.stale_allows.is_empty() {
+            for e in &report.stale_allows {
+                eprintln!(
+                    "lint-allow.toml: stale entry for {} ({:?}) — covers nothing, delete it",
+                    e.file, e.rules
+                );
+            }
+            failed = true;
+        }
+    }
+    if failed {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,7 +1,15 @@
 //! Text and JSON rendering of a lint run.
+//!
+//! JSON is **schema 2**: every finding carries its rule `family` and
+//! call-graph `callers`, and the top level exposes `finding_count` /
+//! `allowed_count` / `allowlist_size` / `allowlist_budget` so a CI
+//! guard is one `jq '.finding_count'` away.
 
 use crate::allowlist::AllowEntry;
 use crate::rules::Finding;
+
+/// JSON schema version emitted by [`Report::to_json`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The outcome of a full lint run.
 #[derive(Debug, Clone, Default)]
@@ -14,6 +22,10 @@ pub struct Report {
     pub stale_allows: Vec<AllowEntry>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Rule ids that actually ran (after `--rules` filtering).
+    pub rules_run: Vec<String>,
+    /// Entries in the loaded allowlist.
+    pub allowlist_size: usize,
 }
 
 impl Report {
@@ -27,9 +39,14 @@ impl Report {
         let mut out = String::new();
         for f in &self.findings {
             let scope = f.scope.as_deref().map(|s| format!(" (in fn {s})")).unwrap_or_default();
+            let reached = if f.callers.is_empty() {
+                String::new()
+            } else {
+                format!(" (reached from {})", f.callers.join(", "))
+            };
             out.push_str(&format!(
-                "{}:{}: [{}] {}{}\n",
-                f.file, f.line, f.rule, f.message, scope
+                "{}:{}: [{}] {}{}{}\n",
+                f.file, f.line, f.rule, f.message, scope, reached
             ));
         }
         for e in &self.stale_allows {
@@ -50,8 +67,17 @@ impl Report {
     /// Machine-readable rendering (stable key order, no dependencies).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema\": {SCHEMA_VERSION},\n"));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"clean\": {},\n", self.is_clean()));
+        out.push_str(&format!("  \"finding_count\": {},\n", self.findings.len()));
+        out.push_str(&format!("  \"allowed_count\": {},\n", self.allowed.len()));
+        out.push_str(&format!("  \"allowlist_size\": {},\n", self.allowlist_size));
+        out.push_str(&format!("  \"allowlist_budget\": {},\n", crate::ALLOWLIST_BUDGET));
+        out.push_str(&format!(
+            "  \"rules_run\": [{}],\n",
+            self.rules_run.iter().map(|r| json_string(r)).collect::<Vec<_>>().join(", ")
+        ));
         out.push_str("  \"findings\": [\n");
         push_findings(&mut out, &self.findings);
         out.push_str("  ],\n");
@@ -80,12 +106,16 @@ fn push_findings(out: &mut String, findings: &[Finding]) {
             Some(ref s) => json_string(s),
             None => "null".to_string(),
         };
+        let callers =
+            f.callers.iter().map(|c| json_string(c)).collect::<Vec<_>>().join(", ");
         out.push_str(&format!(
-            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"scope\": {}, \"message\": {}}}{}\n",
+            "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"family\": {}, \"scope\": {}, \"callers\": [{}], \"message\": {}}}{}\n",
             json_string(&f.file),
             f.line,
             json_string(f.rule),
+            json_string(f.family()),
             scope,
+            callers,
             json_string(&f.message),
             comma
         ));
@@ -121,6 +151,7 @@ mod tests {
             line: 3,
             rule: "no-panic",
             scope: Some("f".into()),
+            callers: Vec::new(),
             message: "`.unwrap()` in library code".into(),
         }
     }
@@ -131,6 +162,30 @@ mod tests {
         let t = r.to_text();
         assert!(t.contains("crates/x/src/a.rs:3: [no-panic]"));
         assert!(t.contains("(in fn f)"));
+    }
+
+    #[test]
+    fn schema_v2_counts_and_families_are_present() {
+        let mut f = finding();
+        f.callers = vec!["crates/x/src/b.rs::caller".into()];
+        let r = Report {
+            findings: vec![f],
+            files_scanned: 1,
+            rules_run: vec!["no-panic".into()],
+            allowlist_size: 3,
+            ..Default::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": 2"), "{j}");
+        assert!(j.contains("\"finding_count\": 1"));
+        assert!(j.contains("\"allowed_count\": 0"));
+        assert!(j.contains("\"allowlist_size\": 3"));
+        assert!(j.contains("\"allowlist_budget\": 10"));
+        assert!(j.contains("\"family\": \"panic\""));
+        assert!(j.contains("\"callers\": [\"crates/x/src/b.rs::caller\"]"));
+        assert!(j.contains("\"rules_run\": [\"no-panic\"]"));
+        let t = r.to_text();
+        assert!(t.contains("(reached from crates/x/src/b.rs::caller)"), "{t}");
     }
 
     #[test]

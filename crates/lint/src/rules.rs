@@ -24,12 +24,36 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`no-panic`, `no-cast`, `no-bare-f64`, `error-impl`).
+    /// Rule id (`no-panic`, `det-hash-iter`, `stream-dup`, …).
     pub rule: &'static str,
     /// Enclosing function, when the violation sits inside one.
     pub scope: Option<String>,
+    /// Call-graph attribution: production functions that reach `scope`,
+    /// as `"file::fn"`, breadth first. Filled for determinism/stream
+    /// findings; empty when attribution does not apply.
+    pub callers: Vec<String>,
     /// Human-readable description.
     pub message: String,
+}
+
+impl Finding {
+    /// The rule family this finding belongs to (`panic`, `units`,
+    /// `error`, `determinism`, `stream`).
+    pub fn family(&self) -> &'static str {
+        family_of(self.rule)
+    }
+}
+
+/// Map a rule id to its family tag (report schema v2).
+pub fn family_of(rule: &str) -> &'static str {
+    match rule {
+        "no-panic" => "panic",
+        "no-cast" | "no-bare-f64" => "units",
+        "error-impl" => "error",
+        r if r.starts_with("det-") => "determinism",
+        r if r.starts_with("stream-") => "stream",
+        _ => "other",
+    }
 }
 
 /// Numeric types a raw `as` cast may not target (or source) in
@@ -117,6 +141,7 @@ fn no_panic(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                     line: t.line,
                     rule: "no-panic",
                     scope: t.enclosing_fn.clone(),
+                    callers: Vec::new(),
                     message: format!(
                         "`.{word}()` in library code; propagate a typed error or use a total alternative"
                     ),
@@ -128,6 +153,7 @@ fn no_panic(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                     line: t.line,
                     rule: "no-panic",
                     scope: t.enclosing_fn.clone(),
+                    callers: Vec::new(),
                     message: format!("`{word}!` in library code; return a typed error instead"),
                 });
             }
@@ -148,6 +174,7 @@ fn no_cast(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                 line: t.line,
                 rule: "no-cast",
                 scope: t.enclosing_fn.clone(),
+                callers: Vec::new(),
                 message: format!(
                     "raw `as {next}` cast in a unit-bearing module; use `units::count`, `try_from`, or a units constructor"
                 ),
@@ -228,6 +255,7 @@ fn no_bare_f64(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                             line: tokens[p].line,
                             rule: "no-bare-f64",
                             scope: Some(name.clone()),
+                            callers: Vec::new(),
                             message: format!(
                                 "parameter `{pname}: f64` of `pub fn {name}` is a bare quantity; take a `photonics::units` newtype"
                             ),
@@ -250,6 +278,7 @@ fn no_bare_f64(rel: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                 line,
                 rule: "no-bare-f64",
                 scope: Some(name.clone()),
+                callers: Vec::new(),
                 message: format!(
                     "`pub fn {name}` returns a bare `f64`; name the unit in the identifier or return a `photonics::units` newtype"
                 ),
@@ -354,6 +383,7 @@ pub fn check_error_impls(enums: &[ErrorEnum], impls: &[TraitImpl]) -> Vec<Findin
                     line: e.line,
                     rule: "error-impl",
                     scope: None,
+                    callers: Vec::new(),
                     message: format!(
                         "`pub enum {}` has no `{}` impl in crate `{}`",
                         e.name,

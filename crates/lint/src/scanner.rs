@@ -18,6 +18,11 @@
 pub enum TokenKind {
     /// Identifier or keyword.
     Word(String),
+    /// Numeric literal, raw text (`42`, `0x7f`, `1_000u64`, `2.5e-3`).
+    /// Kept whole so suffixes never surface as word tokens; the
+    /// stream-hygiene rules parse integer values out via
+    /// [`parse_u64_literal`].
+    Number(String),
     /// Single punctuation character (`{`, `}`, `(`, `)`, `;`, `!`, …).
     /// `->` and `::` are folded into single punct tokens `'>'`-prefixed
     /// by convention: see [`Token::is_arrow`].
@@ -44,6 +49,14 @@ impl Token {
     pub fn word(&self) -> Option<&str> {
         match self.kind {
             TokenKind::Word(ref w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// The literal text, if this is a numeric-literal token.
+    pub fn number(&self) -> Option<&str> {
+        match self.kind {
+            TokenKind::Number(ref n) => Some(n),
             _ => None,
         }
     }
@@ -192,6 +205,34 @@ fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
     None
 }
 
+/// Parse an integer literal token's value: handles `_` separators,
+/// `0x`/`0o`/`0b` radices, and trailing type suffixes (`u64`, `usize`,
+/// …). Float literals and overflow return `None`.
+pub fn parse_u64_literal(text: &str) -> Option<u64> {
+    let t: String = text.chars().filter(|&c| c != '_').collect();
+    let (radix, digits) = match t.get(..2) {
+        Some("0x") | Some("0X") => (16, &t[2..]),
+        Some("0o") | Some("0O") => (8, &t[2..]),
+        Some("0b") | Some("0B") => (2, &t[2..]),
+        _ => (10, t.as_str()),
+    };
+    // Strip a type suffix: the longest trailing run that is not a valid
+    // digit of the radix (e.g. `u64` in `7u64`, but keep hex `b` in `0x1b`).
+    let end = digits
+        .char_indices()
+        .find(|&(_, c)| !c.is_digit(radix))
+        .map_or(digits.len(), |(i, _)| i);
+    if end == 0 {
+        return None;
+    }
+    // Reject floats (`1.5`, `2e9`, `10f64`): a '.', a decimal exponent,
+    // or an `f32`/`f64` suffix means this never was an integer literal.
+    if radix == 10 && digits[end..].starts_with(['.', 'e', 'E', 'f']) {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
 /// Tokenize masked source, annotating each token with its line, test
 /// status and enclosing function.
 pub fn tokenize(masked: &str) -> Vec<Token> {
@@ -220,6 +261,7 @@ pub fn tokenize(masked: &str) -> Vec<Token> {
             // Numeric literal (including suffixed forms like 10f64 and
             // float exponents): swallow it whole so the suffix never
             // surfaces as a word token.
+            let start = i;
             while i < bytes.len()
                 && (bytes[i].is_ascii_alphanumeric()
                     || bytes[i] == b'_'
@@ -236,6 +278,8 @@ pub fn tokenize(masked: &str) -> Vec<Token> {
                 }
                 i += 1;
             }
+            let text = String::from_utf8_lossy(&bytes[start..i]).into_owned();
+            raw.push((TokenKind::Number(text), line));
         } else {
             raw.push((TokenKind::Punct(b as char), line));
             i += 1;
@@ -372,5 +416,26 @@ mod tests {
     fn arrow_is_one_token() {
         let toks = tokenize(&mask("fn f() -> f64 { 0.0 }"));
         assert!(toks.iter().any(Token::is_arrow));
+    }
+
+    #[test]
+    fn numeric_literals_become_number_tokens() {
+        let toks = tokenize(&mask("const A: u64 = 0x7f; let b = 1_000u64; let c = 2.5;"));
+        let nums: Vec<&str> = toks.iter().filter_map(Token::number).collect();
+        assert_eq!(nums, vec!["0x7f", "1_000u64", "2.5"]);
+    }
+
+    #[test]
+    fn u64_literals_parse() {
+        assert_eq!(parse_u64_literal("42"), Some(42));
+        assert_eq!(parse_u64_literal("1_000"), Some(1000));
+        assert_eq!(parse_u64_literal("0x7f"), Some(127));
+        assert_eq!(parse_u64_literal("0b101"), Some(5));
+        assert_eq!(parse_u64_literal("7u64"), Some(7));
+        assert_eq!(parse_u64_literal("3usize"), Some(3));
+        assert_eq!(parse_u64_literal("2.5"), None, "floats are not integers");
+        assert_eq!(parse_u64_literal("2e9"), None, "exponent floats are not integers");
+        assert_eq!(parse_u64_literal("10f64"), None, "f64 suffix is a float");
+        assert_eq!(parse_u64_literal("0x"), None);
     }
 }

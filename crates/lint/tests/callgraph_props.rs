@@ -1,0 +1,149 @@
+//! Properties of the call-graph builder: the edge set is a function of
+//! the *token stream*, so reformatting — whitespace churn, inserted
+//! comments — must never add, drop, or reorder an edge; and no input,
+//! however malformed, may panic the mask/tokenize/build pipeline.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use trident_lint::callgraph::{add_source, CallGraph};
+
+/// A small corpus exercising the shapes the builder must handle:
+/// free functions, methods, cross-file calls, nesting, test modules.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "crates/a/src/lib.rs",
+        "pub fn entry(x: u64) -> u64 { helper(x) + shared(x) }\n\
+         fn helper(x: u64) -> u64 { shared(x) }\n",
+    ),
+    (
+        "crates/b/src/util.rs",
+        "pub fn shared(x: u64) -> u64 { x.rotate_left(1) }\n\
+         impl Widget { fn render(&self) { shared(0); self.refresh(); } fn refresh(&self) {} }\n",
+    ),
+    (
+        "crates/c/src/dev.rs",
+        "fn top() { mid(7); }\nfn mid(n: u64) { if n > 0 { leaf(); } }\nfn leaf() {}\n\
+         #[cfg(test)]\nmod tests { fn t() { leaf(); top(); } }\n",
+    ),
+];
+
+fn build_corpus(reformat: Option<u64>) -> CallGraph {
+    let mut g = CallGraph::default();
+    for (rel, src) in CORPUS {
+        let text = match reformat {
+            Some(seed) => reformat_source(src, seed),
+            None => (*src).to_string(),
+        };
+        add_source(&mut g, rel, &text);
+    }
+    g
+}
+
+/// Deterministic pseudo-random reformatter: rejoins the source's
+/// whitespace-separated chunks with arbitrary whitespace runs and
+/// block comments. Token stream is invariant under this map.
+fn reformat_source(src: &str, seed: u64) -> String {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = String::new();
+    for (i, chunk) in src.split_whitespace().enumerate() {
+        if i > 0 {
+            match next() % 6 {
+                0 => out.push(' '),
+                1 => out.push_str("  "),
+                2 => out.push('\n'),
+                3 => out.push_str("\n\t "),
+                4 => out.push_str(" /* reflow */ "),
+                _ => out.push_str("\n/* line\n comment */\n"),
+            }
+        }
+        out.push_str(chunk);
+    }
+    out
+}
+
+/// Render the graph into one comparable, deterministic string.
+fn fingerprint(g: &CallGraph) -> String {
+    g.edges()
+        .into_iter()
+        .map(|(callee, file, caller)| format!("{file}::{caller} -> {callee}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Edge sets survive arbitrary whitespace/comment reformatting.
+    #[test]
+    fn edges_are_stable_under_reformatting(seed in 0u64..u64::MAX) {
+        let canonical = fingerprint(&build_corpus(None));
+        let reflowed = fingerprint(&build_corpus(Some(seed)));
+        prop_assert_eq!(&canonical, &reflowed);
+        prop_assert!(!canonical.is_empty(), "corpus must actually have edges");
+    }
+
+    /// Caller attribution is reformat-invariant too, not just raw edges.
+    #[test]
+    fn reaching_callers_are_stable_under_reformatting(seed in 0u64..u64::MAX) {
+        let a = build_corpus(None);
+        let b = build_corpus(Some(seed));
+        for func in ["shared", "helper", "leaf", "refresh"] {
+            prop_assert_eq!(a.reaching_callers(func, 8), b.reaching_callers(func, 8));
+        }
+    }
+
+    /// Malformed input — unbalanced braces, stray quotes, random
+    /// punctuation — must never panic the pipeline.
+    #[test]
+    fn builder_never_panics_on_byte_soup(seed in 0u64..u64::MAX, len in 0usize..240) {
+        let mut state = seed | 1;
+        let mut soup = String::with_capacity(len);
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Printable ASCII plus newline: covers quotes, braces,
+            // backslashes, '#', '/', '*' in arbitrary orders.
+            let c = match state % 97 {
+                0 => '\n',
+                n => char::from(32 + (n as u8 - 1)),
+            };
+            soup.push(c);
+        }
+        let mut g = CallGraph::default();
+        add_source(&mut g, "crates/x/src/soup.rs", &soup);
+        let _ = g.edges();
+        let _ = g.reaching_callers("anything", 4);
+    }
+}
+
+/// The committed fixture trees are real inputs the builder sees in
+/// every integration run — walk every file through it.
+#[test]
+fn builder_handles_all_fixture_corpora() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut g = CallGraph::default();
+    let mut files = 0;
+    let mut stack = vec![root];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path).unwrap();
+                add_source(&mut g, &path.to_string_lossy(), &text);
+                files += 1;
+            }
+        }
+    }
+    assert!(files >= 8, "fixture corpus shrank to {files} files");
+    assert!(!g.is_empty());
+}

@@ -1,0 +1,24 @@
+//! Clean fixture: deterministic collections and registry-addressed
+//! noise draws.
+
+use std::collections::BTreeMap;
+use trident_streams::STREAM_FIX_PROG;
+
+/// Ordered accumulation — iteration order is the key order, always.
+pub fn tally(hits: &[(u32, u64)]) -> BTreeMap<u32, u64> {
+    let mut totals: BTreeMap<u32, u64> = BTreeMap::new();
+    for &(key, n) in hits {
+        *totals.entry(key).or_insert(0) += n;
+    }
+    totals
+}
+
+/// Programming noise addressed with a registered stream constant.
+pub fn prog_noise(seed: u64, draw: u64) -> f64 {
+    seeded_gaussian(seed, STREAM_FIX_PROG, draw)
+}
+
+fn seeded_gaussian(seed: u64, stream: u64, draw: u64) -> f64 {
+    let bits = seed ^ stream.rotate_left(17) ^ draw.rotate_left(41);
+    (bits >> 11) as f64 / 9_007_199_254_740_992.0
+}

@@ -1,0 +1,19 @@
+//! Clean fixture: the stream registry. Ids are unique within the `FIX`
+//! domain and the mixer entry points forward their `stream` parameter
+//! (the one place a non-constant stream argument is legitimate).
+
+/// Programming-noise stream.
+pub const STREAM_FIX_PROG: u64 = 1;
+/// Read-noise stream — distinct id, independent draws.
+pub const STREAM_FIX_READ: u64 = 2;
+
+/// The stateless counter-addressed mixer.
+pub fn mix(seed: u64, stream: u64, draw: u64) -> u64 {
+    seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ draw.rotate_left(17)
+}
+
+/// Finalized u64 draw.
+pub fn seeded_u64(seed: u64, stream: u64, draw: u64) -> u64 {
+    let z = mix(seed, stream, draw).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z ^ (z >> 31)
+}

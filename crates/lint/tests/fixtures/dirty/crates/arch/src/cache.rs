@@ -1,0 +1,26 @@
+//! Seeded-negative fixture: hash-ordered iteration in an
+//! output-affecting crate, with a call chain the attribution pass must
+//! walk (`render_report` → `tally`, and cross-crate into
+//! `workload::timing::stamp_ns`).
+
+use std::collections::HashMap;
+
+/// Hash-ordered accumulation: the per-key totals iterate in
+/// hash-state order when rendered.
+pub fn tally(hits: &[(u32, u64)]) -> HashMap<u32, u64> {
+    let mut totals: HashMap<u32, u64> = HashMap::new();
+    for &(key, n) in hits {
+        *totals.entry(key).or_insert(0) += n;
+    }
+    totals
+}
+
+/// The deterministic-core entry point contaminated by `tally` (and by
+/// the wall-clock read in `workload::timing::stamp_ns`).
+pub fn render_report(hits: &[(u32, u64)]) -> Vec<String> {
+    let stamped = stamp_ns();
+    tally(hits)
+        .iter()
+        .map(|(k, v)| format!("{k}={v}@{stamped}"))
+        .collect()
+}

@@ -1,0 +1,30 @@
+//! Seeded-negative fixture for stream hygiene: locally-defined stream
+//! ids, a duplicated id across two logical noise sources in the same
+//! domain, and a mixer call addressed with a computed stream.
+
+/// Locally defined — belongs in the `trident-streams` registry.
+pub const STREAM_FIX_PROG: u64 = 7;
+/// Reuses id 7 in domain `FIX`: programming and read noise now draw
+/// identical values.
+pub const STREAM_FIX_READ: u64 = 7;
+
+/// Programming noise.
+pub fn prog_noise(seed: u64, draw: u64) -> f64 {
+    seeded_gaussian(seed, STREAM_FIX_PROG, draw)
+}
+
+/// Read noise — correlated with `prog_noise` via the duplicated id.
+pub fn read_noise(seed: u64, draw: u64) -> f64 {
+    seeded_gaussian(seed, STREAM_FIX_READ, draw)
+}
+
+/// A computed stream address: the draw address space is no longer
+/// auditable from the registry.
+pub fn rotating_noise(seed: u64, source: u64, draw: u64) -> f64 {
+    seeded_gaussian(seed, source % 4, draw)
+}
+
+fn seeded_gaussian(seed: u64, stream: u64, draw: u64) -> f64 {
+    let bits = seed ^ stream.rotate_left(17) ^ draw.rotate_left(41);
+    (bits >> 11) as f64 / 9_007_199_254_740_992.0
+}

@@ -1,0 +1,24 @@
+//! Seeded-negative fixture: host-dependent parallelism and raw threads
+//! in an output-affecting crate.
+
+/// Worker count probed from the host — results now vary by machine.
+pub fn worker_count() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Raw scoped threads summing floats in completion order.
+pub fn shard_sum(values: &[f64]) -> f64 {
+    let workers = worker_count();
+    let chunk = values.len().div_ceil(workers).max(1);
+    let mut total = 0.0;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            values.chunks(chunk).map(|c| scope.spawn(move || c.iter().sum::<f64>())).collect();
+        for h in handles {
+            if let Ok(part) = h.join() {
+                total += part;
+            }
+        }
+    });
+    total
+}

@@ -1,0 +1,8 @@
+//! Seeded-negative fixture: a wall-clock read outside
+//! `crates/obs/src/clock.rs`, reachable from `arch::cache::render_report`.
+
+/// Reads the host clock — the repro contract forbids this outside the
+/// obs crate's `Clock` implementation.
+pub fn stamp_ns() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -35,13 +35,12 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use trident_photonics::calib::{drift_decay_factor, ReferenceColumn};
 use trident_photonics::units::{count, EnergyPj, Hours};
+use trident_streams::mix;
 
-/// Draw-stream id for per-cell drift-exponent initialization.
-pub const STREAM_NU: u64 = 1;
-/// Draw-stream id for post-write programming noise.
-pub const STREAM_PROG: u64 = 2;
-/// Draw-stream id for per-probe read noise.
-pub const STREAM_READ: u64 = 3;
+// The stream ids addressing this module's draws live in the workspace
+// stream registry (`trident-streams`, domain `pcm.stat`) — re-exported
+// here so device-model callers keep a single import path.
+pub use trident_streams::{STREAM_PCM_NU, STREAM_PCM_PROG, STREAM_PCM_READ};
 
 /// The single source of simulated deployment time for one weight bank.
 ///
@@ -159,12 +158,6 @@ impl StatParams {
     }
 }
 
-/// Bit-mixer over the (seed, stream, draw) address of one sample.
-fn mix(seed: u64, stream: u64, draw: u64) -> u64 {
-    seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ draw.wrapping_add(1).wrapping_mul(0xD1B5_4A32_D192_ED03).rotate_left(17)
-}
-
 /// Unit-normal draw addressed by `(seed, stream, draw)`.
 ///
 /// Stateless-by-construction: the triple seeds a short-lived [`StdRng`]
@@ -220,18 +213,18 @@ mod tests {
 
     #[test]
     fn same_address_same_bits_different_address_different_bits() {
-        let a = seeded_gaussian(42, STREAM_PROG, 7);
-        let b = seeded_gaussian(42, STREAM_PROG, 7);
+        let a = seeded_gaussian(42, STREAM_PCM_PROG, 7);
+        let b = seeded_gaussian(42, STREAM_PCM_PROG, 7);
         assert_eq!(a.to_bits(), b.to_bits());
-        assert_ne!(a.to_bits(), seeded_gaussian(42, STREAM_PROG, 8).to_bits());
-        assert_ne!(a.to_bits(), seeded_gaussian(42, STREAM_READ, 7).to_bits());
-        assert_ne!(a.to_bits(), seeded_gaussian(43, STREAM_PROG, 7).to_bits());
+        assert_ne!(a.to_bits(), seeded_gaussian(42, STREAM_PCM_PROG, 8).to_bits());
+        assert_ne!(a.to_bits(), seeded_gaussian(42, STREAM_PCM_READ, 7).to_bits());
+        assert_ne!(a.to_bits(), seeded_gaussian(43, STREAM_PCM_PROG, 7).to_bits());
     }
 
     #[test]
     fn gaussian_stream_is_roughly_standard_normal() {
         let n = 4000u64;
-        let samples: Vec<f64> = (0..n).map(|i| seeded_gaussian(5, STREAM_READ, i)).collect();
+        let samples: Vec<f64> = (0..n).map(|i| seeded_gaussian(5, STREAM_PCM_READ, i)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var =
             samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
@@ -254,7 +247,7 @@ mod tests {
     fn nu_never_falls_below_the_fleet_floor() {
         let p = StatParams::default();
         for i in 0..2000u64 {
-            let nu = p.nu_slope(seeded_gaussian(p.seed, STREAM_NU, i));
+            let nu = p.nu_slope(seeded_gaussian(p.seed, STREAM_PCM_NU, i));
             assert!(nu >= p.drift_nu_floor, "ν {nu} below floor");
             assert!(nu < 1.0, "ν {nu} unphysically large");
         }
@@ -269,7 +262,7 @@ mod tests {
         let age = Hours(720.0);
         let bound = col.decay_factor_at(age);
         for i in 0..500u64 {
-            let nu = p.nu_slope(seeded_gaussian(p.seed, STREAM_NU, i));
+            let nu = p.nu_slope(seeded_gaussian(p.seed, STREAM_PCM_NU, i));
             let f = p.cell_decay_factor(age, nu);
             assert!(f <= bound + 1e-15, "cell factor {f} above reference bound {bound}");
         }

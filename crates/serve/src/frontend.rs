@@ -13,7 +13,7 @@
 //! byte-identical at any `TRIDENT_THREADS` — the same ordered-results
 //! discipline the vendored executor uses.
 
-use crate::traffic::{seeded_u64, STREAM_INPUT};
+use trident_streams::{seeded_u64, STREAM_TRAFFIC_INPUT};
 use crate::{Request, ServeError};
 use rayon::pool;
 use std::sync::mpsc;
@@ -27,7 +27,7 @@ fn prepare_one(
     seed: u64,
     slo_ns: u64,
 ) -> Request {
-    let pick = seeded_u64(seed, STREAM_INPUT, id) % (dataset.len() as u64);
+    let pick = seeded_u64(seed, STREAM_TRAFFIC_INPUT, id) % (dataset.len() as u64);
     let (input, label) = &dataset[usize::try_from(pick).unwrap_or(0)];
     Request {
         id,

@@ -8,12 +8,10 @@
 //! clock, no dependence on thread schedule. Times are `u64` virtual
 //! nanoseconds and strictly monotone (every interarrival is ≥ 1 ns).
 
-/// Draw-stream id for interarrival gaps.
-const STREAM_ARRIVAL: u64 = 1;
-/// Draw-stream id for ON/OFF burst-phase durations.
-const STREAM_ONOFF: u64 = 2;
-/// Draw-stream id for dataset-sample selection (used by the front-end).
-pub(crate) const STREAM_INPUT: u64 = 3;
+// This module's stream ids live in the workspace stream registry
+// (`trident-streams`, domain `serve.traffic`), alongside the shared
+// mixer and splitmix finalizer.
+use trident_streams::{seeded_u64, STREAM_TRAFFIC_ARRIVAL, STREAM_TRAFFIC_ONOFF};
 
 /// The open-loop arrival process driving the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,24 +33,6 @@ pub enum ArrivalProcess {
         /// Mean interarrival gap *within* an ON window, nanoseconds.
         on_interarrival_ns: u64,
     },
-}
-
-/// Stateless bit mixer: the same construction `pcm::stat` uses to
-/// address its noise draws, giving independent streams per `(seed,
-/// stream)` and full avalanche across consecutive `draw` values.
-fn mix(seed: u64, stream: u64, draw: u64) -> u64 {
-    seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ draw.wrapping_add(1).wrapping_mul(0xD1B5_4A32_D192_ED03).rotate_left(17)
-}
-
-/// The `draw`-th raw `u64` of a stream — splitmix64 finalization over
-/// the mixed address, so low-entropy addresses still produce
-/// well-distributed outputs.
-pub(crate) fn seeded_u64(seed: u64, stream: u64, draw: u64) -> u64 {
-    let mut z = mix(seed, stream, draw).wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Map a raw draw to the open unit interval `(0, 1]` (53-bit mantissa;
@@ -83,7 +63,7 @@ pub fn generate_arrivals(process: ArrivalProcess, seed: u64, count: usize) -> Ve
             for i in 0..count {
                 t = t.saturating_add(exp_ns(
                     mean_interarrival_ns,
-                    seeded_u64(seed, STREAM_ARRIVAL, i as u64),
+                    seeded_u64(seed, STREAM_TRAFFIC_ARRIVAL, i as u64),
                 ));
                 times.push(t);
             }
@@ -92,19 +72,19 @@ pub fn generate_arrivals(process: ArrivalProcess, seed: u64, count: usize) -> Ve
             let mut t = 0u64;
             let mut onoff_draw = 0u64;
             let mut window_end =
-                exp_ns(on_mean_ns, seeded_u64(seed, STREAM_ONOFF, onoff_draw));
+                exp_ns(on_mean_ns, seeded_u64(seed, STREAM_TRAFFIC_ONOFF, onoff_draw));
             onoff_draw += 1;
             for i in 0..count {
                 t = t.saturating_add(exp_ns(
                     on_interarrival_ns,
-                    seeded_u64(seed, STREAM_ARRIVAL, i as u64),
+                    seeded_u64(seed, STREAM_TRAFFIC_ARRIVAL, i as u64),
                 ));
                 // Crossed out of the ON window: insert an OFF gap, then
                 // open the next ON window at the shifted time.
                 while t >= window_end {
-                    let off = exp_ns(off_mean_ns, seeded_u64(seed, STREAM_ONOFF, onoff_draw));
+                    let off = exp_ns(off_mean_ns, seeded_u64(seed, STREAM_TRAFFIC_ONOFF, onoff_draw));
                     onoff_draw += 1;
-                    let on = exp_ns(on_mean_ns, seeded_u64(seed, STREAM_ONOFF, onoff_draw));
+                    let on = exp_ns(on_mean_ns, seeded_u64(seed, STREAM_TRAFFIC_ONOFF, onoff_draw));
                     onoff_draw += 1;
                     t = t.saturating_add(off);
                     window_end = t.saturating_add(on);
