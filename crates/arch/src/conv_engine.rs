@@ -18,6 +18,8 @@
 //! flatten → dense`, enough to classify the synthetic digit images
 //! end-to-end on simulated optics.
 
+use crate::engine::{cache_set, copy_reuse, reserve_to};
+use crate::error::ArchError;
 use crate::pe::{ProcessingElement, LOGIT_THRESHOLD};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,6 +28,33 @@ use trident_photonics::units::{count, EnergyPj};
 
 /// GST activation slope (Fig. 3).
 const SLOPE: f64 = 0.34;
+
+/// Reusable CNN forward working memory — the conv-engine analogue of the
+/// MLP engine's `ForwardScratch`. The patch gather is restructured from
+/// one `Vec` per output position into a single reusable im2col matrix
+/// (`cols`), which feeds the filter bank one row at a time: same values,
+/// same PE call order, so outputs stay bitwise identical while the warm
+/// steady state allocates nothing engine-side. Device-model internals
+/// (MVM returns, latch vectors) sit outside this boundary.
+#[derive(Debug, Default)]
+struct ConvScratch {
+    /// im2col matrix, `conv_h·conv_w` rows of `bank` (zero-padded) lanes.
+    cols: Vec<f64>,
+    /// Laser-normalized modulation row.
+    normalized: Vec<f64>,
+    /// Per-position conv logits (`out_c` wide).
+    logits: Vec<f64>,
+    /// Post-activation conv feature map.
+    activ: Vec<f64>,
+    /// Pooled features entering the dense head.
+    features: Vec<f64>,
+    /// Dense-head modulation slice.
+    slice: Vec<f64>,
+    /// Per-sample outputs of the latest [`PhotonicCnn::try_forward_batch`].
+    batch_out: Vec<Vec<f64>>,
+    /// Heap-growth events on the managed buffers (and layer caches).
+    heap_allocs: u64,
+}
 
 /// A small photonic CNN: one conv layer, GST activation, 2×2 maxpool,
 /// and a dense classifier head.
@@ -50,6 +79,8 @@ pub struct PhotonicCnn {
     cached_pool_argmax: Vec<usize>,
     cached_features: Vec<f64>,
     extra_energy: EnergyLedger,
+    /// Reusable forward working memory (zero-alloc steady state).
+    scratch: ConvScratch,
 }
 
 impl PhotonicCnn {
@@ -106,6 +137,7 @@ impl PhotonicCnn {
             cached_pool_argmax: Vec::new(),
             cached_features: Vec::new(),
             extra_energy: EnergyLedger::new(),
+            scratch: ConvScratch::default(),
         };
         cnn.program_all();
         cnn
@@ -162,56 +194,113 @@ impl PhotonicCnn {
         }
     }
 
-    /// Extract the im2col patch at conv output position `(oy, ox)`.
-    fn patch_at(&self, image: &[f64], oy: usize, ox: usize) -> Vec<f64> {
-        let mut p = Vec::with_capacity(self.in_c * self.kernel * self.kernel);
-        for c in 0..self.in_c {
-            for ky in 0..self.kernel {
-                for kx in 0..self.kernel {
-                    p.push(image[(c * self.in_h + oy + ky) * self.in_w + ox + kx]);
-                }
-            }
-        }
-        p
-    }
-
     /// Forward one image (`in_c·in_h·in_w` values in `[0, 1]`). Returns
     /// class logits. Caches everything the backward pass needs.
     pub fn forward(&mut self, image: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.forward_into(image, &mut out);
+        out
+    }
+
+    /// [`PhotonicCnn::forward`] writing the logits into a caller-owned
+    /// buffer (cleared first) — the zero-allocation form: a warm engine
+    /// with a warm `out` buffer performs no engine-side heap allocation.
+    pub fn forward_into(&mut self, image: &[f64], out: &mut Vec<f64>) {
         assert_eq!(image.len(), self.in_c * self.in_h * self.in_w, "image size mismatch");
         let (conv_h, conv_w) = self.conv_hw();
+        let positions = conv_h * conv_w;
         let patch_len = self.in_c * self.kernel * self.kernel;
-        self.cached_patches.clear();
-        self.cached_conv_logits.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
 
-        // Conv: stream every patch through the filter bank, fire the GST
-        // activation per position (per-position f' bits cached to L1).
-        let mut activ = vec![0.0; self.out_c * conv_h * conv_w];
+        // im2col gather: every receptive field lands in one reusable
+        // matrix, one zero-padded `bank`-wide row per output position
+        // (the per-position `patch_at` Vec of the pre-scratch code).
+        let had_cols = scratch.cols.capacity();
+        scratch.cols.clear();
+        scratch.cols.resize(positions * self.bank, 0.0);
+        if scratch.cols.capacity() > had_cols {
+            scratch.heap_allocs += 1;
+        }
         for oy in 0..conv_h {
             for ox in 0..conv_w {
-                let mut patch = self.patch_at(image, oy, ox);
-                patch.resize(self.bank, 0.0);
-                let scale = patch.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-12);
-                let normalized: Vec<f64> = patch.iter().map(|&v| v / scale).collect();
-                let h = self.conv_pes[0].mvm_unsigned(&normalized);
-                let logits: Vec<f64> =
-                    h.iter().take(self.out_c).map(|&v| v * scale).collect();
-                let fired = self.conv_pes[0].latch_and_activate(&logits);
-                for (f, &y) in fired.iter().enumerate() {
-                    activ[(f * conv_h + oy) * conv_w + ox] = y;
+                let mut i = (oy * conv_w + ox) * self.bank;
+                for c in 0..self.in_c {
+                    for ky in 0..self.kernel {
+                        for kx in 0..self.kernel {
+                            scratch.cols[i] =
+                                image[(c * self.in_h + oy + ky) * self.in_w + ox + kx];
+                            i += 1;
+                        }
+                    }
                 }
-                self.cached_patches.push(patch[..patch_len].to_vec());
-                self.cached_conv_logits.push(logits);
+            }
+        }
+
+        // Conv: stream each im2col row through the filter bank, fire the
+        // GST activation per position (per-position f' bits cached to L1).
+        let had_activ = scratch.activ.capacity();
+        scratch.activ.clear();
+        scratch.activ.resize(self.out_c * positions, 0.0);
+        if scratch.activ.capacity() > had_activ {
+            scratch.heap_allocs += 1;
+        }
+        for oy in 0..conv_h {
+            for ox in 0..conv_w {
+                let pos = oy * conv_w + ox;
+                let row = &scratch.cols[pos * self.bank..(pos + 1) * self.bank];
+                let scale = row.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-12);
+                let had = scratch.normalized.capacity();
+                scratch.normalized.clear();
+                scratch.normalized.extend(row.iter().map(|&v| v / scale));
+                if scratch.normalized.capacity() > had {
+                    scratch.heap_allocs += 1;
+                }
+                let h = self.conv_pes[0].mvm_unsigned(&scratch.normalized);
+                let had = scratch.logits.capacity();
+                scratch.logits.clear();
+                scratch.logits.extend(h.iter().take(self.out_c).map(|&v| v * scale));
+                if scratch.logits.capacity() > had {
+                    scratch.heap_allocs += 1;
+                }
+                let fired = self.conv_pes[0].latch_and_activate(&scratch.logits);
+                for (f, &y) in fired.iter().enumerate() {
+                    scratch.activ[(f * conv_h + oy) * conv_w + ox] = y;
+                }
+                cache_set(
+                    &mut self.cached_patches,
+                    pos,
+                    &scratch.cols[pos * self.bank..pos * self.bank + patch_len],
+                    &mut scratch.heap_allocs,
+                );
+                cache_set(
+                    &mut self.cached_conv_logits,
+                    pos,
+                    &scratch.logits,
+                    &mut scratch.heap_allocs,
+                );
                 // One bit per row per position spilled to L1.
                 self.extra_energy
                     .charge("ldsu fifo", EnergyPj(0.01 * self.out_c as f64));
             }
         }
+        self.cached_patches.truncate(positions);
+        self.cached_conv_logits.truncate(positions);
 
         // 2×2 max pool with argmax routing cached.
         let (pool_h, pool_w) = self.pool_hw();
-        let mut features = vec![0.0; self.feature_count()];
-        self.cached_pool_argmax = vec![0; self.feature_count()];
+        let feature_total = self.feature_count();
+        let had_feat = scratch.features.capacity();
+        scratch.features.clear();
+        scratch.features.resize(feature_total, 0.0);
+        if scratch.features.capacity() > had_feat {
+            scratch.heap_allocs += 1;
+        }
+        let had_argmax = self.cached_pool_argmax.capacity();
+        self.cached_pool_argmax.clear();
+        self.cached_pool_argmax.resize(feature_total, 0);
+        if self.cached_pool_argmax.capacity() > had_argmax {
+            scratch.heap_allocs += 1;
+        }
         for f in 0..self.out_c {
             for py in 0..pool_h {
                 for px in 0..pool_w {
@@ -221,43 +310,252 @@ impl PhotonicCnn {
                         for dx in 0..2 {
                             let idx =
                                 (f * conv_h + 2 * py + dy) * conv_w + 2 * px + dx;
-                            if activ[idx] > best {
-                                best = activ[idx];
+                            if scratch.activ[idx] > best {
+                                best = scratch.activ[idx];
                                 best_idx = idx;
                             }
                         }
                     }
                     let out_idx = (f * pool_h + py) * pool_w + px;
-                    features[out_idx] = best;
+                    scratch.features[out_idx] = best;
                     self.cached_pool_argmax[out_idx] = best_idx;
                 }
             }
         }
-        self.cached_features = features.clone();
+        copy_reuse(&mut self.cached_features, &scratch.features, &mut scratch.heap_allocs);
 
         // Dense head.
-        let feature_total = self.feature_count();
         let ct = feature_total.div_ceil(self.bank);
-        let scale = features.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-12);
-        let mut logits = vec![0.0; self.classes];
+        let scale = scratch.features.iter().fold(0.0f64, |m, &v| m.max(v)).max(1e-12);
+        let had_out = out.capacity();
+        out.clear();
+        out.resize(self.classes, 0.0);
+        if out.capacity() > had_out {
+            scratch.heap_allocs += 1;
+        }
         for (t, pe) in self.dense_pes.iter_mut().enumerate() {
             let (rt, ctile) = (t / ct, t % ct);
-            let mut slice = vec![0.0; self.bank];
+            let had = scratch.slice.capacity();
+            scratch.slice.clear();
+            scratch.slice.resize(self.bank, 0.0);
+            if scratch.slice.capacity() > had {
+                scratch.heap_allocs += 1;
+            }
             for j in 0..self.bank {
                 let src = ctile * self.bank + j;
                 if src < feature_total {
-                    slice[j] = features[src] / scale;
+                    scratch.slice[j] = scratch.features[src] / scale;
                 }
             }
-            let partial = pe.mvm_unsigned(&slice);
+            let partial = pe.mvm_unsigned(&scratch.slice);
             for (i, &p) in partial.iter().enumerate() {
                 let row = rt * self.bank + i;
                 if row < self.classes {
-                    logits[row] += p * scale;
+                    out[row] += p * scale;
                 }
             }
         }
-        logits
+        self.scratch = scratch;
+    }
+
+    /// Forward a batch of images, amortizing dispatch into the engine's
+    /// reusable per-sample output buffers. The sweep is sample-major —
+    /// identical PE call order to calling [`PhotonicCnn::forward`] per
+    /// image, so outputs are bitwise identical to the sequential path.
+    ///
+    /// Returns per-sample logits in input order; the slice borrows the
+    /// engine's batch buffers and is valid until the next forward.
+    pub fn try_forward_batch<S: AsRef<[f64]>>(
+        &mut self,
+        inputs: &[S],
+    ) -> Result<&[Vec<f64>], ArchError> {
+        let expected = self.in_c * self.in_h * self.in_w;
+        for x in inputs {
+            if x.as_ref().len() != expected {
+                return Err(ArchError::ShapeMismatch { expected, got: x.as_ref().len() });
+            }
+        }
+        let n = inputs.len();
+        while self.scratch.batch_out.len() < n {
+            self.scratch.batch_out.push(Vec::new());
+            self.scratch.heap_allocs += 1;
+        }
+        for (s, x) in inputs.iter().enumerate() {
+            let mut slot = std::mem::take(&mut self.scratch.batch_out[s]);
+            self.forward_into(x.as_ref(), &mut slot);
+            self.scratch.batch_out[s] = slot;
+        }
+        Ok(&self.scratch.batch_out[..n])
+    }
+
+    /// Pre-size the forward scratch, the training caches, and `batch`
+    /// per-sample output buffers so steady-state forwards perform no
+    /// engine-side heap allocation. Growth here is warm-up, not counted
+    /// in [`PhotonicCnn::hot_path_allocs`].
+    pub fn reserve_forward_scratch(&mut self, batch: usize) {
+        let (conv_h, conv_w) = self.conv_hw();
+        let positions = conv_h * conv_w;
+        let patch_len = self.in_c * self.kernel * self.kernel;
+        let feature_total = self.feature_count();
+        let (bank, out_c, classes) = (self.bank, self.out_c, self.classes);
+        let s = &mut self.scratch;
+        reserve_to(&mut s.cols, positions * bank);
+        reserve_to(&mut s.normalized, bank);
+        reserve_to(&mut s.logits, out_c);
+        reserve_to(&mut s.activ, out_c * positions);
+        reserve_to(&mut s.features, feature_total);
+        reserve_to(&mut s.slice, bank);
+        while s.batch_out.len() < batch {
+            s.batch_out.push(Vec::new());
+        }
+        for slot in &mut s.batch_out {
+            reserve_to(slot, classes);
+        }
+        while self.cached_patches.len() < positions {
+            self.cached_patches.push(Vec::new());
+        }
+        for slot in &mut self.cached_patches {
+            reserve_to(slot, patch_len);
+        }
+        while self.cached_conv_logits.len() < positions {
+            self.cached_conv_logits.push(Vec::new());
+        }
+        for slot in &mut self.cached_conv_logits {
+            reserve_to(slot, out_c);
+        }
+        if self.cached_pool_argmax.capacity() < feature_total {
+            let need = feature_total - self.cached_pool_argmax.len();
+            self.cached_pool_argmax.reserve(need);
+        }
+        reserve_to(&mut self.cached_features, feature_total);
+    }
+
+    /// Heap-growth events on the forward hot path since construction
+    /// (see [`ConvScratch`]). Zero across a window of warm forwards is
+    /// the zero-allocation claim.
+    pub fn hot_path_allocs(&self) -> u64 {
+        self.scratch.heap_allocs
+    }
+
+    /// Digital float reference of the same network with the convolution
+    /// lowered to **im2col + the blocked GEMM** from `trident_nn::linalg`
+    /// (the lowering `workload::layer::GemmView` assumes), then the pool
+    /// and dense head in plain floats. This is the software-fallback conv
+    /// path the `cnn_forward_im2col_gemm` bench measures against
+    /// [`PhotonicCnn::digital_forward_naive`].
+    pub fn digital_forward(&self, image: &[f64]) -> Vec<f64> {
+        use trident_nn::{linalg, Tensor};
+        let (conv_h, conv_w) = self.conv_hw();
+        let positions = conv_h * conv_w;
+        let patch_len = self.in_c * self.kernel * self.kernel;
+        // im2col: [positions, patch_len] patch matrix.
+        let mut cols = Tensor::zeros(&[positions, patch_len]);
+        {
+            let data = cols.data_mut();
+            for oy in 0..conv_h {
+                for ox in 0..conv_w {
+                    let mut i = (oy * conv_w + ox) * patch_len;
+                    for c in 0..self.in_c {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                data[i] = image
+                                    [(c * self.in_h + oy + ky) * self.in_w + ox + kx]
+                                    as f32;
+                                i += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Filters transposed to [patch_len, out_c] so one GEMM produces
+        // all positions × all filters.
+        let mut wt = Tensor::zeros(&[patch_len, self.out_c]);
+        {
+            let data = wt.data_mut();
+            for f in 0..self.out_c {
+                for j in 0..patch_len {
+                    data[j * self.out_c + f] = self.conv_weights[f * patch_len + j] as f32;
+                }
+            }
+        }
+        let h = linalg::matmul(&cols, &wt); // [positions, out_c]
+        let mut activ = vec![0.0f32; self.out_c * positions];
+        for pos in 0..positions {
+            for f in 0..self.out_c {
+                let v = h.data()[pos * self.out_c + f];
+                let threshold = LOGIT_THRESHOLD as f32;
+                activ[f * positions + pos] =
+                    if v >= threshold { SLOPE as f32 * (v - threshold) } else { 0.0 };
+            }
+        }
+        self.digital_head(&activ)
+    }
+
+    /// Digital float reference with the convolution as direct per-pixel
+    /// loops (no im2col, no GEMM) — the naive baseline for the
+    /// `cnn_forward_im2col_gemm` bench.
+    pub fn digital_forward_naive(&self, image: &[f64]) -> Vec<f64> {
+        let (conv_h, conv_w) = self.conv_hw();
+        let positions = conv_h * conv_w;
+        let patch_len = self.in_c * self.kernel * self.kernel;
+        let mut activ = vec![0.0f32; self.out_c * positions];
+        for f in 0..self.out_c {
+            for oy in 0..conv_h {
+                for ox in 0..conv_w {
+                    let mut v = 0.0f32;
+                    for c in 0..self.in_c {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let w = self.conv_weights
+                                    [f * patch_len + (c * self.kernel + ky) * self.kernel + kx]
+                                    as f32;
+                                let px = image
+                                    [(c * self.in_h + oy + ky) * self.in_w + ox + kx]
+                                    as f32;
+                                v += w * px;
+                            }
+                        }
+                    }
+                    let threshold = LOGIT_THRESHOLD as f32;
+                    activ[f * positions + oy * conv_w + ox] =
+                        if v >= threshold { SLOPE as f32 * (v - threshold) } else { 0.0 };
+                }
+            }
+        }
+        self.digital_head(&activ)
+    }
+
+    /// Shared pool + dense head of the digital reference paths. `activ`
+    /// is `[out_c × conv_h·conv_w]` feature-major.
+    fn digital_head(&self, activ: &[f32]) -> Vec<f64> {
+        let (conv_h, conv_w) = self.conv_hw();
+        let (pool_h, pool_w) = self.pool_hw();
+        let feature_total = self.feature_count();
+        let mut features = vec![0.0f32; feature_total];
+        for f in 0..self.out_c {
+            for py in 0..pool_h {
+                for px in 0..pool_w {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let idx = f * conv_h * conv_w
+                                + (2 * py + dy) * conv_w
+                                + (2 * px + dx);
+                            best = best.max(activ[idx]);
+                        }
+                    }
+                    features[(f * pool_h + py) * pool_w + px] = best;
+                }
+            }
+        }
+        (0..self.classes)
+            .map(|class| {
+                (0..feature_total)
+                    .map(|j| self.dense_weights[class * feature_total + j] * f64::from(features[j]))
+                    .sum()
+            })
+            .collect()
     }
 
     /// Predicted class.
@@ -545,5 +843,59 @@ mod tests {
     fn oversized_receptive_field_rejected() {
         // 3 channels × 3×3 = 27 > 16 channels.
         let _ = PhotonicCnn::new(3, 8, 8, 4, 3, 10, 1, 8);
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_identical_to_sequential() {
+        let (xs, _) = digit_images(2);
+        let xs = &xs[..6];
+        let mut sequential = PhotonicCnn::new(1, 8, 8, 6, 3, 10, 5, 8);
+        let expected: Vec<Vec<f64>> = xs.iter().map(|x| sequential.forward(x)).collect();
+        let mut batched = PhotonicCnn::new(1, 8, 8, 6, 3, 10, 5, 8);
+        let got = batched.try_forward_batch(xs).unwrap();
+        for (s, (g, e)) in got.iter().zip(&expected).enumerate() {
+            let gb: Vec<u64> = g.iter().map(|v| v.to_bits()).collect();
+            let eb: Vec<u64> = e.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gb, eb, "sample {s}: batched CNN output must be bitwise identical");
+        }
+        assert_eq!(
+            sequential.total_energy().value().to_bits(),
+            batched.total_energy().value().to_bits()
+        );
+    }
+
+    #[test]
+    fn warm_cnn_forwards_without_heap_allocs() {
+        let (xs, _) = digit_images(1);
+        let xs = &xs[..4];
+        let mut cnn = PhotonicCnn::new(1, 8, 8, 6, 3, 10, 7, 8);
+        cnn.reserve_forward_scratch(xs.len());
+        cnn.try_forward_batch(xs).unwrap();
+        let warm = cnn.hot_path_allocs();
+        for _ in 0..3 {
+            cnn.try_forward_batch(xs).unwrap();
+        }
+        assert_eq!(
+            cnn.hot_path_allocs(),
+            warm,
+            "steady-state CNN forwards must not grow engine scratch"
+        );
+    }
+
+    #[test]
+    fn im2col_gemm_reference_matches_naive_conv() {
+        let (xs, _) = digit_images(2);
+        let cnn = PhotonicCnn::new(1, 8, 8, 6, 3, 10, 9, 8);
+        for x in &xs[..8] {
+            let gemm = cnn.digital_forward(x);
+            let naive = cnn.digital_forward_naive(x);
+            assert_eq!(gemm.len(), naive.len());
+            for (class, (&g, &n)) in gemm.iter().zip(&naive).enumerate() {
+                assert!(
+                    (g - n).abs() < 1e-4,
+                    "class {class}: im2col+GEMM {g} vs naive {n}"
+                );
+            }
+        }
     }
 }

@@ -48,6 +48,49 @@ fn serve_scenario(c: &mut Criterion) {
     });
 }
 
+/// Steady-state dispatch of one closed batch through a warm fleet: the
+/// zero-allocation path (reserved scratch, reused completion buffer,
+/// `dispatch_into`). The bench body is exactly what the event loop pays
+/// per batch after warm-up; the assert pins the zero-alloc contract so
+/// a regression fails the bench run, not just the lint.
+fn serve_batch(c: &mut Criterion) {
+    use trident::serve::fleet::Completion;
+    use trident::serve::{Fleet, Request};
+    let cfg = latency_scenario(0);
+    c.bench_function("serve_batch_zero_alloc", |b| {
+        let mut fleet = Fleet::try_build(
+            &cfg.dims,
+            cfg.engine,
+            &cfg.replicas,
+            None,
+            cfg.sharding,
+            cfg.est_ns_per_item_init,
+        )
+        .unwrap();
+        fleet.reserve_scratch(cfg.batch_max);
+        let batch: Vec<Request> = (0..cfg.batch_max)
+            .map(|i| Request {
+                id: i as u64,
+                arrival_ns: 0,
+                deadline_ns: cfg.slo_ns,
+                input: cfg.dataset[i % cfg.dataset.len()].0.clone(),
+                label: cfg.dataset[i % cfg.dataset.len()].1,
+            })
+            .collect();
+        let mut completions: Vec<Completion> = Vec::new();
+        // One warm dispatch grows any remaining lazy scratch.
+        fleet.dispatch_into(0, &batch, &mut completions).unwrap();
+        let warm = fleet.hot_path_allocs();
+        let mut now_ns = 1u64;
+        b.iter(|| {
+            fleet.dispatch_into(black_box(now_ns), black_box(&batch), &mut completions).unwrap();
+            now_ns += 1;
+            black_box(completions.len())
+        });
+        assert_eq!(fleet.hot_path_allocs(), warm, "steady-state dispatch allocated");
+    });
+}
+
 fn histogram_paths(c: &mut Criterion) {
     c.bench_function("hist_record_1k", |b| {
         let h = LatencyHistogram::new();
@@ -74,5 +117,5 @@ fn histogram_paths(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, serve_scenario, histogram_paths);
+criterion_group!(benches, serve_scenario, serve_batch, histogram_paths);
 criterion_main!(benches);

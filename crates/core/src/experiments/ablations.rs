@@ -565,7 +565,13 @@ pub mod serve {
     /// Render the serving ablation: the headline latency/goodput table
     /// plus a per-replica energy/wear table.
     pub fn render(per_class: usize, requests: usize) -> String {
-        let reports = run(per_class, requests);
+        render_reports(&run(per_class, requests))
+    }
+
+    /// Render already-computed reports — lets a caller that also needs
+    /// the raw [`ServeReport`]s (JSON export, steady-state diagnostics)
+    /// run each scenario exactly once.
+    pub fn render_reports(reports: &[ServeReport]) -> String {
         let mut t = TextTable::new(
             "Ablation: fleet serving — dynamic batching under SLO (3 replicas)",
             &[
@@ -573,7 +579,7 @@ pub mod serve {
                 "goodput rps", "SLO miss", "acc.",
             ],
         );
-        for r in &reports {
+        for r in reports {
             t.row(&[
                 r.scenario.clone(),
                 format!("{}", r.offered),
@@ -591,7 +597,7 @@ pub mod serve {
             "Per-replica serving ledger (energy excludes deployment programming)",
             &["scenario", "replica", "requests", "batches", "busy us", "energy nJ", "masked"],
         );
-        for r in &reports {
+        for r in reports {
             for rep in &r.replicas {
                 per_replica.row(&[
                     r.scenario.clone(),

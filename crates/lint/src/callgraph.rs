@@ -47,6 +47,10 @@ pub struct CallGraph {
     defs: BTreeMap<String, BTreeSet<FnDef>>,
     /// Callee name → (caller file, caller fn) pairs.
     callers: BTreeMap<String, BTreeSet<(String, String)>>,
+    /// Caller fn name → callee names: the forward edges, for
+    /// [`CallGraph::reachable_from`]. Only calls made from inside a
+    /// function body contribute (same rule as `callers`).
+    callees: BTreeMap<String, BTreeSet<String>>,
 }
 
 impl CallGraph {
@@ -86,7 +90,8 @@ impl CallGraph {
             self.callers
                 .entry(word.to_string())
                 .or_default()
-                .insert((rel.to_string(), caller));
+                .insert((rel.to_string(), caller.clone()));
+            self.callees.entry(caller).or_default().insert(word.to_string());
         }
     }
 
@@ -141,6 +146,37 @@ impl CallGraph {
             }
         }
         out
+    }
+
+    /// Forward reachability: every function *name* reachable from
+    /// `entries` through call edges, including the entries themselves.
+    /// `stop` prunes the walk — a stopped name is neither included nor
+    /// expanded, which is how callers carve out sanctioned boundaries
+    /// (constructors, the device model). Name-based like everything
+    /// here, so the set over-approximates: exactly what a "must not
+    /// allocate" rule wants (a false extra reachable fn is a finding a
+    /// human reviews once; a missed one is a silent hole).
+    pub fn reachable_from(
+        &self,
+        entries: &[&str],
+        stop: &dyn Fn(&str) -> bool,
+    ) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: VecDeque<String> =
+            entries.iter().map(|s| (*s).to_string()).collect();
+        while let Some(name) = queue.pop_front() {
+            if stop(&name) || !seen.insert(name.clone()) {
+                continue;
+            }
+            if let Some(callees) = self.callees.get(&name) {
+                for callee in callees {
+                    if !seen.contains(callee) {
+                        queue.push_back(callee.clone());
+                    }
+                }
+            }
+        }
+        seen
     }
 
     /// True when `tokens` never mention `fn` outside tests — used by the
@@ -246,6 +282,31 @@ mod tests {
     fn self_recursion_is_not_attribution() {
         let g = graph(&[("crates/a/src/lib.rs", "fn gcd(a: u64, b: u64) -> u64 { gcd(b, a) }")]);
         assert!(g.reaching_callers("gcd", 8).is_empty());
+    }
+
+    #[test]
+    fn forward_reachability_walks_transitively_and_stops_at_boundaries() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn dispatch() { stage(); }\nfn stage() { fill(); new_buf(); }\n\
+             fn fill() {}\nfn new_buf() {}\nfn unrelated() { fill(); }",
+        )]);
+        let reach = g.reachable_from(&["dispatch"], &|n| n.starts_with("new"));
+        assert!(reach.contains("dispatch"));
+        assert!(reach.contains("stage"));
+        assert!(reach.contains("fill"));
+        assert!(!reach.contains("new_buf"), "stopped names are excluded");
+        assert!(!reach.contains("unrelated"), "callers of shared helpers stay out");
+    }
+
+    #[test]
+    fn forward_reachability_survives_cycles() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn ping() { pong(); }\nfn pong() { ping(); leaf(); }\nfn leaf() {}",
+        )]);
+        let reach = g.reachable_from(&["ping"], &|_| false);
+        assert!(reach.contains("ping") && reach.contains("pong") && reach.contains("leaf"));
     }
 
     #[test]

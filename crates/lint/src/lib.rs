@@ -23,6 +23,11 @@
 //! 6. **stream-*** — RNG stream hygiene ([`stream_rules`]): `STREAM_*`
 //!    ids live in the `trident-streams` registry, are unique per seed
 //!    domain, and mixer call sites pass registered constants.
+//! 7. **hot-path-alloc** — zero-alloc steady state ([`alloc_rules`]):
+//!    no `vec!`/`Vec::with_capacity`/`.collect()` in functions the call
+//!    graph reaches *forward* from the serving entry points; allocation
+//!    belongs in constructors, `reserve_*` warm-up, and the device
+//!    model, never per dispatched request (DESIGN.md §15).
 //!
 //! Findings from the determinism and stream families carry call-graph
 //! attribution ([`callgraph`]): the production functions from which the
@@ -36,6 +41,7 @@
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod alloc_rules;
 pub mod allowlist;
 pub mod callgraph;
 pub mod det_rules;
@@ -63,11 +69,12 @@ pub const ALL_RULES: &[&str] = &[
     "stream-local-const",
     "stream-dup",
     "stream-nonconst",
+    "hot-path-alloc",
 ];
 
 /// Rule families accepted by [`RuleFilter::parse`] as shorthand for
 /// every rule they contain.
-pub const FAMILIES: &[&str] = &["panic", "units", "error", "determinism", "stream"];
+pub const FAMILIES: &[&str] = &["panic", "units", "error", "determinism", "stream", "alloc"];
 
 /// Hard ceiling on `lint-allow.toml` entries. Exemptions are debt; the
 /// budget keeps the file a reviewed shortlist instead of a landfill.
@@ -227,11 +234,14 @@ pub fn run_filtered(
     if filter.is_enabled("stream-dup") {
         stream_rules::check_duplicates(&consts, &mut all);
     }
+    if filter.is_enabled("hot-path-alloc") {
+        alloc_rules::check(&scans, &graph, &mut all);
+    }
 
     // Pass 4: call-graph attribution for the families where "who reaches
     // this helper" is the question the reader asks next.
     for f in &mut all {
-        if matches!(f.family(), "determinism" | "stream") {
+        if matches!(f.family(), "determinism" | "stream" | "alloc") {
             if let Some(scope) = f.scope.as_deref() {
                 f.callers = graph.reaching_callers(scope, CALLER_LIMIT);
             }

@@ -50,6 +50,7 @@ pub fn family_of(rule: &str) -> &'static str {
         "no-panic" => "panic",
         "no-cast" | "no-bare-f64" => "units",
         "error-impl" => "error",
+        "hot-path-alloc" => "alloc",
         r if r.starts_with("det-") => "determinism",
         r if r.starts_with("stream-") => "stream",
         _ => "other",

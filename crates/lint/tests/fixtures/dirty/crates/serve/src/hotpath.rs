@@ -1,0 +1,21 @@
+//! Seeded-negative fixture: heap allocation on the serving hot path —
+//! a batch dispatcher whose per-batch helper rebuilds its staging
+//! buffers on every call, plus a `.collect()` in the entry point
+//! itself.
+
+/// Per-batch staging buffers, reallocated on every dispatch.
+pub fn stage_buffers(n: usize) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(vec![0.0; 8]);
+    }
+    out
+}
+
+/// The serving entry point: every closed batch pays `stage_buffers`'
+/// fresh allocations plus a collected id list.
+pub fn dispatch_into(batch: &[Vec<f64>], completions: &mut Vec<usize>) {
+    let staged = stage_buffers(batch.len());
+    let ids: Vec<usize> = staged.iter().map(Vec::len).collect();
+    completions.extend(ids);
+}

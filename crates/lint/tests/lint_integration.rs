@@ -81,6 +81,25 @@ fn dirty_fixture_duplicate_stream_id_names_both_sources() {
 }
 
 #[test]
+fn dirty_fixture_hot_path_allocs_carry_entry_point_attribution() {
+    let report = trident_lint::run(&fixture("dirty"), &[]).unwrap();
+    let hits: Vec<_> =
+        report.findings.iter().filter(|f| f.rule == "hot-path-alloc").collect();
+    // Two idioms in the helper, one in the entry point itself.
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    assert!(hits.iter().all(|f| f.file == "crates/serve/src/hotpath.rs"), "{hits:?}");
+    let helper = hits
+        .iter()
+        .find(|f| f.scope.as_deref() == Some("stage_buffers"))
+        .expect("helper finding");
+    assert!(
+        helper.callers.contains(&"crates/serve/src/hotpath.rs::dispatch_into".to_string()),
+        "the finding must name the entry point that reaches it: {:?}",
+        helper.callers
+    );
+}
+
+#[test]
 fn rule_filter_limits_the_run() {
     let filter = trident_lint::RuleFilter::parse("stream").unwrap();
     let report = trident_lint::run_filtered(&fixture("dirty"), &[], &filter).unwrap();
@@ -126,6 +145,11 @@ reason = "fixture"
 [[allow]]
 file = "crates/pcm/src/noise.rs"
 rules = ["stream-local-const", "stream-dup", "stream-nonconst"]
+reason = "fixture"
+
+[[allow]]
+file = "crates/serve/src/hotpath.rs"
+rules = ["hot-path-alloc"]
 reason = "fixture"
 
 [[allow]]

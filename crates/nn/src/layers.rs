@@ -6,11 +6,13 @@
 //! The photonic engine in `trident-arch` mirrors exactly these semantics
 //! device-by-device, and the integration tests diff the two.
 
+use crate::arena::TensorArena;
 use crate::error::NnError;
 use crate::linalg;
 use crate::optim::Sgd;
 use crate::tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 
 /// Pointwise activation functions.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +90,24 @@ pub trait Layer: Send {
     /// Backward pass: consume `dL/d(output)`, accumulate parameter
     /// gradients, return `dL/d(input)`.
     fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError>;
+    /// Arena-backed forward: the output (and any internal scratch) comes
+    /// from `arena` or reused layer-owned buffers instead of fresh
+    /// allocations. Bitwise identical to [`Layer::try_forward`] and
+    /// caches the same backward state; the caller owns the returned
+    /// tensor and must eventually [`TensorArena::give`] it back.
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError>;
+    /// Arena-backed backward, mirroring [`Layer::try_forward_in`]: the
+    /// returned input gradient (and intermediates) are arena checkouts.
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError>;
+    /// The layer as [`Any`] — lets [`crate::network::Sequential`] detect
+    /// fusable Dense→Activation pairs without widening the trait.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable [`Any`] access (fused dispatch needs `&mut` on the pair).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Infallible forward: panics on the errors `try_forward` reports.
     fn forward(&mut self, x: &Tensor) -> Tensor {
         self.try_forward(x).unwrap_or_else(|e| panic!("{e}"))
@@ -103,6 +123,17 @@ pub trait Layer: Send {
     /// Number of trainable parameters.
     fn param_count(&self) -> usize {
         0
+    }
+}
+
+/// Copy `src` into a cached slot, reusing the existing buffer when the
+/// shape already matches — the steady-state case on the serving path,
+/// where every batch has the same geometry. Falls back to a clone on the
+/// first call or a shape change.
+fn cache_assign(slot: &mut Option<Tensor>, src: &Tensor) {
+    match slot {
+        Some(t) if t.shape() == src.shape() => t.data_mut().copy_from_slice(src.data()),
+        _ => *slot = Some(src.clone()),
     }
 }
 
@@ -136,6 +167,9 @@ pub struct Dense {
     grad_w: Tensor,
     grad_b: Option<Tensor>,
     cached_input: Option<Tensor>,
+    /// Reused `Wᵀ` buffer for the arena/fused forward paths; empty
+    /// until the first refresh sizes it.
+    wt_scratch: Tensor,
 }
 
 impl Dense {
@@ -143,7 +177,14 @@ impl Dense {
     pub fn from_weights(weights: Tensor) -> Self {
         assert_eq!(weights.ndim(), 2, "dense weights must be a matrix");
         let shape = weights.shape().to_vec();
-        Self { weights, bias: None, grad_w: Tensor::zeros(&shape), grad_b: None, cached_input: None }
+        Self {
+            weights,
+            bias: None,
+            grad_w: Tensor::zeros(&shape),
+            grad_b: None,
+            cached_input: None,
+            wt_scratch: Tensor::zeros(&[0, 0]),
+        }
     }
 
     /// Randomly initialised dense layer (Xavier), no bias.
@@ -172,6 +213,47 @@ impl Dense {
     /// Accumulated weight gradient (for tests and the photonic diff).
     pub fn grad_weights(&self) -> &Tensor {
         &self.grad_w
+    }
+
+    /// Refresh the reused `Wᵀ` scratch (allocates only on the first call
+    /// or a geometry change — never in the serving steady state).
+    fn refresh_wt(&mut self) {
+        let (out, inp) = (self.weights.shape()[0], self.weights.shape()[1]);
+        if self.wt_scratch.shape() != [inp, out] {
+            self.wt_scratch = Tensor::zeros(&[inp, out]);
+        }
+        linalg::transpose_into(&self.weights, &mut self.wt_scratch);
+    }
+
+    /// Fused Dense→Activation forward for the inference serving path:
+    /// `act(x·Wᵀ + b)` in one pass over each output tile
+    /// ([`linalg::matmul_bias_act_into`]). Bitwise identical to
+    /// [`Layer::try_forward`] followed by the activation's map, but it
+    /// caches no backward state (the pre-activation logits are never
+    /// materialised) — training keeps the unfused layer pair.
+    pub fn try_forward_fused_in(
+        &mut self,
+        x: &Tensor,
+        act: Activation,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        if x.ndim() != 2 || x.shape()[1] != self.in_features() {
+            return Err(NnError::ShapeMismatch {
+                layer: "dense",
+                expected: format!("[batch, {}]", self.in_features()),
+                got: x.shape().to_vec(),
+            });
+        }
+        self.refresh_wt();
+        let mut y = arena.take(&[x.shape()[0], self.out_features()]);
+        linalg::matmul_bias_act_into(
+            x,
+            &self.wt_scratch,
+            self.bias.as_ref().map(Tensor::data),
+            |v| act.forward(v),
+            &mut y,
+        );
+        Ok(y)
     }
 }
 
@@ -226,6 +308,66 @@ impl Layer for Dense {
         Ok(linalg::matmul(grad_out, &self.weights))
     }
 
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError> {
+        if x.ndim() != 2 || x.shape()[1] != self.in_features() {
+            return Err(NnError::ShapeMismatch {
+                layer: "dense",
+                expected: format!("[batch, {}]", self.in_features()),
+                got: x.shape().to_vec(),
+            });
+        }
+        cache_assign(&mut self.cached_input, x);
+        self.refresh_wt();
+        let mut y = arena.take(&[x.shape()[0], self.out_features()]);
+        linalg::matmul_into(x, &self.wt_scratch, &mut y);
+        if let Some(b) = &self.bias {
+            for r in 0..y.shape()[0] {
+                let row = y.row_mut(r);
+                for (v, &bi) in row.iter_mut().zip(b.data()) {
+                    *v += bi;
+                }
+            }
+        }
+        Ok(y)
+    }
+
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "dense" })?;
+        if grad_out.ndim() != 2 || grad_out.shape()[0] != x.shape()[0] {
+            return Err(NnError::ShapeMismatch {
+                layer: "dense",
+                expected: format!("[{}, {}] upstream gradient", x.shape()[0], self.out_features()),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        // dW = gradᵀ · x : [out, in], built in arena scratch.
+        let mut gt = arena.take(&[grad_out.shape()[1], grad_out.shape()[0]]);
+        linalg::transpose_into(grad_out, &mut gt);
+        let mut dw = arena.take(&[self.out_features(), self.in_features()]);
+        linalg::matmul_into(&gt, x, &mut dw);
+        self.grad_w.axpy(1.0, &dw);
+        arena.give(dw);
+        arena.give(gt);
+        if let (Some(_), Some(gb)) = (&self.bias, &mut self.grad_b) {
+            for r in 0..grad_out.shape()[0] {
+                for (g, &go) in gb.data_mut().iter_mut().zip(grad_out.row(r)) {
+                    *g += go;
+                }
+            }
+        }
+        // dX = grad · W : [batch, in]
+        let mut gx = arena.take(&[grad_out.shape()[0], self.in_features()]);
+        linalg::matmul_into(grad_out, &self.weights, &mut gx);
+        Ok(gx)
+    }
+
     fn update(&mut self, opt: &Sgd) {
         opt.step(&mut self.weights, &self.grad_w);
         self.grad_w.zero_();
@@ -241,6 +383,14 @@ impl Layer for Dense {
 
     fn param_count(&self) -> usize {
         self.weights.len() + self.bias.as_ref().map_or(0, Tensor::len)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -289,8 +439,48 @@ impl Layer for ActivationLayer {
         Ok(grad_out.zip_map(h, |g, hv| g * self.act.derivative(hv)))
     }
 
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError> {
+        cache_assign(&mut self.cached_logits, x);
+        let mut y = arena.take(x.shape());
+        for (o, &v) in y.data_mut().iter_mut().zip(x.data()) {
+            *o = self.act.forward(v);
+        }
+        Ok(y)
+    }
+
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        let h = self
+            .cached_logits
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "activation" })?;
+        if grad_out.shape() != h.shape() {
+            return Err(NnError::ShapeMismatch {
+                layer: "activation",
+                expected: format!("{:?} upstream gradient", h.shape()),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let mut gx = arena.take(grad_out.shape());
+        for ((o, &g), &hv) in gx.data_mut().iter_mut().zip(grad_out.data()).zip(h.data()) {
+            *o = g * self.act.derivative(hv);
+        }
+        Ok(gx)
+    }
+
     fn name(&self) -> &'static str {
         "activation"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -316,6 +506,9 @@ pub struct Conv2d {
     padding: usize,
     cached_input: Option<Tensor>,
     cached_cols: Option<Tensor>,
+    /// Reused `Wᵀ` buffer for the arena forward path; empty until the
+    /// first refresh sizes it.
+    wt_scratch: Tensor,
 }
 
 impl Conv2d {
@@ -341,6 +534,7 @@ impl Conv2d {
             padding,
             cached_input: None,
             cached_cols: None,
+            wt_scratch: Tensor::zeros(&[0, 0]),
         }
     }
 
@@ -353,10 +547,19 @@ impl Conv2d {
 
     /// im2col: `[batch·oh·ow, in_c·k·k]` patch matrix.
     fn im2col(&self, x: &Tensor) -> Tensor {
-        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (n, _, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.output_hw(h, w);
         let patch = self.in_channels * self.kernel * self.kernel;
         let mut cols = Tensor::zeros(&[n * oh * ow, patch]);
+        self.im2col_into(x, &mut cols);
+        cols
+    }
+
+    /// [`Conv2d::im2col`] into a caller-owned buffer (every element is
+    /// written, padding included, so the buffer needs no pre-zeroing).
+    fn im2col_into(&self, x: &Tensor, cols: &mut Tensor) {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.output_hw(h, w);
         for b in 0..n {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -380,13 +583,18 @@ impl Conv2d {
                 }
             }
         }
-        cols
     }
 
     /// Scatter a column-gradient matrix back to input layout (col2im).
     fn col2im(&self, grad_cols: &Tensor, n: usize, h: usize, w: usize) -> Tensor {
-        let (oh, ow) = self.output_hw(h, w);
         let mut gx = Tensor::zeros(&[n, self.in_channels, h, w]);
+        self.col2im_into(grad_cols, n, h, w, &mut gx);
+        gx
+    }
+
+    /// [`Conv2d::col2im`] accumulating into a zero-filled caller buffer.
+    fn col2im_into(&self, grad_cols: &Tensor, n: usize, h: usize, w: usize, gx: &mut Tensor) {
+        let (oh, ow) = self.output_hw(h, w);
         for b in 0..n {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -407,7 +615,15 @@ impl Conv2d {
                 }
             }
         }
-        gx
+    }
+
+    /// Refresh the reused `Wᵀ` scratch (see [`Dense`]'s counterpart).
+    fn refresh_wt(&mut self) {
+        let (oc, patch) = (self.weights.shape()[0], self.weights.shape()[1]);
+        if self.wt_scratch.shape() != [patch, oc] {
+            self.wt_scratch = Tensor::zeros(&[patch, oc]);
+        }
+        linalg::transpose_into(&self.weights, &mut self.wt_scratch);
     }
 }
 
@@ -473,6 +689,90 @@ impl Layer for Conv2d {
         Ok(self.col2im(&dcols, n, h, w))
     }
 
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError> {
+        require_4d("conv2d", x)?;
+        if x.shape()[1] != self.in_channels {
+            return Err(NnError::ShapeMismatch {
+                layer: "conv2d",
+                expected: format!("[batch, {}, h, w]", self.in_channels),
+                got: x.shape().to_vec(),
+            });
+        }
+        let (n, _, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let patch = self.in_channels * self.kernel * self.kernel;
+        // The patch matrix doubles as backward state, so it lives in a
+        // reused layer-owned buffer rather than the arena.
+        let mut cols = match self.cached_cols.take() {
+            Some(c) if c.shape() == [n * oh * ow, patch] => c,
+            _ => Tensor::zeros(&[n * oh * ow, patch]),
+        };
+        self.im2col_into(x, &mut cols);
+        self.refresh_wt();
+        let mut out_cols = arena.take(&[n * oh * ow, self.out_channels]);
+        linalg::matmul_into(&cols, &self.wt_scratch, &mut out_cols);
+        cache_assign(&mut self.cached_input, x);
+        self.cached_cols = Some(cols);
+        let mut y = arena.take(&[n, self.out_channels, oh, ow]);
+        for b in 0..n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = out_cols.row((b * oh + oy) * ow + ox);
+                    for oc in 0..self.out_channels {
+                        *y.at4_mut(b, oc, oy, ox) = row[oc];
+                    }
+                }
+            }
+        }
+        arena.give(out_cols);
+        Ok(y)
+    }
+
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        require_4d("conv2d", grad_out)?;
+        let (x_shape, n, h, w) = match &self.cached_input {
+            Some(x) => (x.shape().to_vec(), x.shape()[0], x.shape()[2], x.shape()[3]),
+            None => return Err(NnError::BackwardBeforeForward { layer: "conv2d" }),
+        };
+        let Some(cols) = self.cached_cols.take() else {
+            return Err(NnError::BackwardBeforeForward { layer: "conv2d" });
+        };
+        let (oh, ow) = self.output_hw(h, w);
+        let mut grad_cols = arena.take(&[n * oh * ow, self.out_channels]);
+        for b in 0..n {
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        *grad_cols.at2_mut((b * oh + oy) * ow + ox, oc) =
+                            grad_out.at4(b, oc, oy, ox);
+                    }
+                }
+            }
+        }
+        // dW = grad_colsᵀ × cols : [out_c, patch]
+        let mut gt = arena.take(&[self.out_channels, n * oh * ow]);
+        linalg::transpose_into(&grad_cols, &mut gt);
+        let mut dw = arena.take(self.weights.shape());
+        linalg::matmul_into(&gt, &cols, &mut dw);
+        self.cached_cols = Some(cols);
+        self.grad_w.axpy(1.0, &dw);
+        arena.give(dw);
+        arena.give(gt);
+        // dCols = grad_cols × W : [n·oh·ow, patch] → col2im
+        let patch = self.in_channels * self.kernel * self.kernel;
+        let mut dcols = arena.take(&[n * oh * ow, patch]);
+        linalg::matmul_into(&grad_cols, &self.weights, &mut dcols);
+        arena.give(grad_cols);
+        let mut gx = arena.take(&x_shape);
+        self.col2im_into(&dcols, n, h, w, &mut gx);
+        arena.give(dcols);
+        Ok(gx)
+    }
+
     fn update(&mut self, opt: &Sgd) {
         opt.step(&mut self.weights, &self.grad_w);
         self.grad_w.zero_();
@@ -484,6 +784,14 @@ impl Layer for Conv2d {
 
     fn param_count(&self) -> usize {
         self.weights.len()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -508,14 +816,19 @@ impl MaxPool2d {
     }
 }
 
-impl Layer for MaxPool2d {
-    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
-        require_4d("maxpool2d", x)?;
+impl MaxPool2d {
+    /// Pooling core shared by the allocating and arena forwards: fill
+    /// `y` and the reused `argmax` scratch. The scratch `Vec` survives in
+    /// `cached_argmax` between calls (`clear` + `resize` stay within the
+    /// retained capacity), so steady-state forwards allocate nothing for
+    /// it — previously it was rebuilt with `vec![0; …]` on every call.
+    fn pool_into(&mut self, x: &Tensor, y: &mut Tensor) {
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let oh = (h - self.size) / self.stride + 1;
         let ow = (w - self.size) / self.stride + 1;
-        let mut y = Tensor::zeros(&[n, c, oh, ow]);
-        let mut argmax = vec![0usize; n * c * oh * ow];
+        let mut argmax = self.cached_argmax.take().unwrap_or_default();
+        argmax.clear();
+        argmax.resize(n * c * oh * ow, 0);
         let mut out_idx = 0;
         for b in 0..n {
             for ch in 0..c {
@@ -543,9 +856,19 @@ impl Layer for MaxPool2d {
         }
         self.cached_input_shape = Some(x.shape().to_vec());
         self.cached_argmax = Some(argmax);
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("maxpool2d", x)?;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let oh = (h - self.size) / self.stride + 1;
+        let ow = (w - self.size) / self.stride + 1;
+        let mut y = Tensor::zeros(&[n, c, oh, ow]);
+        self.pool_into(x, &mut y);
         Ok(y)
     }
-
     fn try_backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
         let (shape, argmax) = match (&self.cached_input_shape, &self.cached_argmax) {
             (Some(s), Some(a)) => (s, a),
@@ -558,8 +881,42 @@ impl Layer for MaxPool2d {
         Ok(gx)
     }
 
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError> {
+        require_4d("maxpool2d", x)?;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let oh = (h - self.size) / self.stride + 1;
+        let ow = (w - self.size) / self.stride + 1;
+        let mut y = arena.take(&[n, c, oh, ow]);
+        self.pool_into(x, &mut y);
+        Ok(y)
+    }
+
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        let (shape, argmax) = match (&self.cached_input_shape, &self.cached_argmax) {
+            (Some(s), Some(a)) => (s, a),
+            _ => return Err(NnError::BackwardBeforeForward { layer: "maxpool2d" }),
+        };
+        let mut gx = arena.take(shape);
+        for (&flat, &g) in argmax.iter().zip(grad_out.data()) {
+            gx.data_mut()[flat] += g;
+        }
+        Ok(gx)
+    }
+
     fn name(&self) -> &'static str {
         "maxpool2d"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -583,14 +940,12 @@ impl AvgPool2d {
     }
 }
 
-impl Layer for AvgPool2d {
-    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
-        require_4d("avgpool2d", x)?;
-        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        let oh = (h - self.size) / self.stride + 1;
-        let ow = (w - self.size) / self.stride + 1;
+impl AvgPool2d {
+    /// Pooling core shared by the allocating and arena forwards.
+    fn pool_into(&mut self, x: &Tensor, y: &mut Tensor) {
+        let (n, c, _, _) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let (oh, ow) = (y.shape()[2], y.shape()[3]);
         let inv = 1.0 / (self.size * self.size) as f32;
-        let mut y = Tensor::zeros(&[n, c, oh, ow]);
         for b in 0..n {
             for ch in 0..c {
                 for oy in 0..oh {
@@ -607,6 +962,22 @@ impl Layer for AvgPool2d {
             }
         }
         self.cached_input_shape = Some(x.shape().to_vec());
+    }
+
+    /// Output shape for an input `x`.
+    fn out_shape(&self, x: &Tensor) -> [usize; 4] {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let oh = (h - self.size) / self.stride + 1;
+        let ow = (w - self.size) / self.stride + 1;
+        [n, c, oh, ow]
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn try_forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        require_4d("avgpool2d", x)?;
+        let mut y = Tensor::zeros(&self.out_shape(x));
+        self.pool_into(x, &mut y);
         Ok(y)
     }
 
@@ -640,8 +1011,57 @@ impl Layer for AvgPool2d {
         Ok(gx)
     }
 
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError> {
+        require_4d("avgpool2d", x)?;
+        let mut y = arena.take(&self.out_shape(x));
+        self.pool_into(x, &mut y);
+        Ok(y)
+    }
+
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        require_4d("avgpool2d", grad_out)?;
+        let shape = self
+            .cached_input_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward { layer: "avgpool2d" })?;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+        let inv = 1.0 / (self.size * self.size) as f32;
+        let mut gx = arena.take(&shape);
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at4(b, ch, oy, ox) * inv;
+                        for ky in 0..self.size {
+                            for kx in 0..self.size {
+                                let (iy, ix) = (oy * self.stride + ky, ox * self.stride + kx);
+                                if iy < h && ix < w {
+                                    *gx.at4_mut(b, ch, iy, ix) += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(gx)
+    }
+
     fn name(&self) -> &'static str {
         "avgpool2d"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -707,8 +1127,68 @@ impl Layer for GlobalAvgPool {
         Ok(gx)
     }
 
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError> {
+        require_4d("global_avgpool", x)?;
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let inv = 1.0 / (h * w) as f32;
+        let mut y = arena.take(&[n, c]);
+        for b in 0..n {
+            for ch in 0..c {
+                let mut acc = 0.0;
+                for iy in 0..h {
+                    for ix in 0..w {
+                        acc += x.at4(b, ch, iy, ix);
+                    }
+                }
+                *y.at2_mut(b, ch) = acc * inv;
+            }
+        }
+        self.cached_input_shape = Some(x.shape().to_vec());
+        Ok(y)
+    }
+
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        let shape = self
+            .cached_input_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward { layer: "global_avgpool" })?;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        if grad_out.ndim() != 2 || grad_out.shape() != [n, c] {
+            return Err(NnError::ShapeMismatch {
+                layer: "global_avgpool",
+                expected: format!("[{n}, {c}] upstream gradient"),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let inv = 1.0 / (h * w) as f32;
+        let mut gx = arena.take(&shape);
+        for b in 0..n {
+            for ch in 0..c {
+                let g = grad_out.at2(b, ch) * inv;
+                for iy in 0..h {
+                    for ix in 0..w {
+                        *gx.at4_mut(b, ch, iy, ix) = g;
+                    }
+                }
+            }
+        }
+        Ok(gx)
+    }
+
     fn name(&self) -> &'static str {
         "global_avgpool"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -752,8 +1232,46 @@ impl Layer for Flatten {
         Ok(grad_out.clone().reshape(&shape))
     }
 
+    fn try_forward_in(&mut self, x: &Tensor, arena: &mut TensorArena) -> Result<Tensor, NnError> {
+        if x.ndim() == 0 || x.shape()[0] == 0 {
+            return Err(NnError::ShapeMismatch {
+                layer: "flatten",
+                expected: "[batch, ...] with batch > 0".into(),
+                got: x.shape().to_vec(),
+            });
+        }
+        let batch = x.shape()[0];
+        let features = x.len() / batch;
+        self.cached_shape = Some(x.shape().to_vec());
+        let mut y = arena.take(&[batch, features]);
+        y.data_mut().copy_from_slice(x.data());
+        Ok(y)
+    }
+
+    fn try_backward_in(
+        &mut self,
+        grad_out: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        let shape = self
+            .cached_shape
+            .clone()
+            .ok_or(NnError::BackwardBeforeForward { layer: "flatten" })?;
+        let mut gx = arena.take(&shape);
+        gx.data_mut().copy_from_slice(grad_out.data());
+        Ok(gx)
+    }
+
     fn name(&self) -> &'static str {
         "flatten"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 

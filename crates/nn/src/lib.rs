@@ -9,7 +9,11 @@
 //! numbers, we need a trustworthy float reference: this crate.
 //!
 //! * [`tensor`] — a minimal dense tensor (row-major `f32`).
-//! * [`linalg`] — Rayon-parallel GEMM / GEMV / outer products.
+//! * [`arena`] — a recycling scratch allocator so the steady-state
+//!   serving path allocates nothing (DESIGN.md §15).
+//! * [`linalg`] — Rayon-parallel GEMM / GEMV / outer products, plus the
+//!   fused `matmul_bias_act` / `matvec_bias_act` kernels (bitwise
+//!   identical to the unfused sequences).
 //! * [`init`] — seeded weight initialisers.
 //! * [`layers`] — dense, conv2d (im2col), pooling, activations, flatten,
 //!   each with forward *and* backward passes.
@@ -29,6 +33,7 @@
 #![deny(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless))]
 
+pub mod arena;
 pub mod data;
 pub mod error;
 pub mod init;
@@ -41,6 +46,7 @@ pub mod optim;
 pub mod quant;
 pub mod tensor;
 
+pub use arena::TensorArena;
 pub use error::NnError;
 pub use layers::{Activation, ActivationLayer, AvgPool2d, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d};
 pub use loss::{mse, softmax_cross_entropy};

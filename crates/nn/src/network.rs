@@ -1,7 +1,8 @@
 //! Sequential model container: the float training reference.
 
+use crate::arena::TensorArena;
 use crate::error::NnError;
-use crate::layers::Layer;
+use crate::layers::{ActivationLayer, Dense, Layer};
 use crate::loss::softmax_cross_entropy;
 use crate::optim::Sgd;
 use crate::tensor::Tensor;
@@ -61,6 +62,101 @@ impl Sequential {
             h = layer.try_forward(&h)?;
         }
         Ok(h)
+    }
+
+    /// Arena-backed inference forward: every intermediate activation is
+    /// checked out of `arena` (and given back as soon as the next layer
+    /// consumed it), and Dense→Activation pairs are fused through
+    /// [`crate::linalg::matmul_bias_act_into`] — one pass over each
+    /// output tile instead of a matmul, a bias sweep, and a map.
+    ///
+    /// Output is bitwise identical to [`Sequential::try_forward`] at any
+    /// thread count (the fusion keeps the k-order of the accumulation and
+    /// applies bias/activation per element — DESIGN.md §15). This is the
+    /// serving path: fused pairs skip caching their pre-activation
+    /// logits, so a training step must use [`Sequential::try_forward`]
+    /// (or the unfused per-layer `try_forward_in`) before
+    /// [`Sequential::try_backward_in`].
+    ///
+    /// The caller owns the returned tensor and gives it back to `arena`
+    /// when done (typically after copying out predictions), then calls
+    /// [`TensorArena::reset`] to close the generation.
+    pub fn try_forward_in(
+        &mut self,
+        x: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        let mut h = arena.take(x.shape());
+        h.data_mut().copy_from_slice(x.data());
+        let mut i = 0;
+        while i < self.layers.len() {
+            // Fusion eligibility: a Dense directly followed by an
+            // ActivationLayer. Anything else runs layer-by-layer.
+            let fused_act = if i + 1 < self.layers.len() && self.layers[i].as_any().is::<Dense>() {
+                self.layers[i + 1]
+                    .as_any()
+                    .downcast_ref::<ActivationLayer>()
+                    .map(ActivationLayer::activation)
+            } else {
+                None
+            };
+            let step = match fused_act {
+                // The second downcast re-proves what `fused_act` already
+                // checked; the fallback keeps this total without a panic
+                // path.
+                Some(act) => match self.layers[i].as_any_mut().downcast_mut::<Dense>() {
+                    Some(dense) => {
+                        i += 2;
+                        dense.try_forward_fused_in(&h, act, arena)
+                    }
+                    None => {
+                        i += 1;
+                        self.layers[i - 1].try_forward_in(&h, arena)
+                    }
+                },
+                None => {
+                    i += 1;
+                    self.layers[i - 1].try_forward_in(&h, arena)
+                }
+            };
+            let next = match step {
+                Ok(y) => y,
+                Err(e) => {
+                    // Don't strand the checkout on the error path — the
+                    // arena's reset assertion must stay meaningful.
+                    arena.give(h);
+                    return Err(e);
+                }
+            };
+            arena.give(h);
+            h = next;
+        }
+        Ok(h)
+    }
+
+    /// Arena-backed backward mirroring [`Sequential::try_backward`]:
+    /// every intermediate gradient is an arena checkout, returned as soon
+    /// as the previous layer consumed it. Requires cached forward state
+    /// from an *unfused* forward pass.
+    pub fn try_backward_in(
+        &mut self,
+        grad: &Tensor,
+        arena: &mut TensorArena,
+    ) -> Result<Tensor, NnError> {
+        let mut g = arena.take(grad.shape());
+        g.data_mut().copy_from_slice(grad.data());
+        for layer in self.layers.iter_mut().rev() {
+            let next = match layer.try_backward_in(&g, arena) {
+                Ok(next) => next,
+                Err(e) => {
+                    arena.give(g);
+                    return Err(e);
+                }
+            };
+            arena.give(g);
+            g = next;
+        }
+        Ok(g)
     }
 
     /// Backward pass from an output gradient; returns the input gradient.
@@ -252,6 +348,77 @@ mod tests {
         // A valid batch still flows after the rejected one.
         let ok = net.try_forward(&Tensor::zeros(&[2, 4])).expect("valid shape");
         assert_eq!(ok.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn arena_fused_forward_is_bitwise_identical_to_unfused() {
+        use crate::arena::TensorArena;
+        let data = gaussian_blobs(3, 20, 4, 0.3, 44);
+        let mut net = tiny_mlp(13, 4, 16, 3);
+        let want = net.try_forward(&data.inputs).expect("valid shape");
+        let mut arena = TensorArena::new();
+        // Twice: cold (allocating) and warm (zero-alloc) must agree.
+        for round in 0..2 {
+            let got = net.try_forward_in(&data.inputs, &mut arena).expect("valid shape");
+            assert_eq!(got.shape(), want.shape());
+            for (g, w) in got.data().iter().zip(want.data()) {
+                assert_eq!(g.to_bits(), w.to_bits(), "round {round}");
+            }
+            arena.give(got);
+            arena.reset();
+        }
+        let warm_allocs = arena.heap_allocs();
+        let got = net.try_forward_in(&data.inputs, &mut arena).expect("valid shape");
+        arena.give(got);
+        arena.reset();
+        assert_eq!(arena.heap_allocs(), warm_allocs, "steady state must not allocate");
+    }
+
+    #[test]
+    fn arena_backward_matches_standard_backward() {
+        use crate::arena::TensorArena;
+        let data = gaussian_blobs(3, 15, 4, 0.3, 45);
+        let mut net = tiny_mlp(17, 4, 8, 3);
+        let logits = net.try_forward(&data.inputs).expect("valid shape");
+        let (_, grad) = softmax_cross_entropy(&logits, &data.labels);
+        // Standard backward on one clone of the net, arena backward on
+        // another — parameter gradients accumulate identically, so the
+        // returned input gradients must match bitwise.
+        let want = net.try_backward(&grad).expect("shapes line up");
+        let mut net2 = tiny_mlp(17, 4, 8, 3);
+        net2.try_forward(&data.inputs).expect("valid shape");
+        let mut arena = TensorArena::new();
+        let got = net2.try_backward_in(&grad, &mut arena).expect("shapes line up");
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        arena.give(got);
+        arena.reset();
+    }
+
+    #[test]
+    fn conv_stack_arena_forward_matches_standard() {
+        use crate::arena::TensorArena;
+        use crate::data::synthetic_digits;
+        use crate::layers::{Conv2d, Flatten, MaxPool2d};
+        let data = synthetic_digits(2, 0.05, 22);
+        let n = data.len();
+        let images = data.inputs.clone().reshape(&[n, 1, 8, 8]);
+        let mut rng = seeded_rng(6);
+        let mut net = Sequential::new()
+            .push(Conv2d::new(4, 1, 3, 1, 1, &mut rng))
+            .push(ActivationLayer::new(Activation::Relu))
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten::new())
+            .push(Dense::new(10, 4 * 4 * 4, &mut rng));
+        let want = net.try_forward(&images).expect("valid shape");
+        let mut arena = TensorArena::new();
+        let got = net.try_forward_in(&images, &mut arena).expect("valid shape");
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        arena.give(got);
+        arena.reset();
     }
 
     #[test]

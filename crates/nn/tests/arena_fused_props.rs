@@ -1,0 +1,160 @@
+//! Property tests for the zero-alloc serving path (ISSUE 9): the fused
+//! `matmul_bias_act` kernel and the arena-backed network forward must be
+//! bitwise identical to the unfused, allocating path at 1, 2 and 8
+//! threads, and a warmed arena must reuse its slabs — two identical
+//! consecutive batches leave the high-water mark and the heap-growth
+//! counter unchanged.
+//!
+//! The thread override is process-global, so every case holds
+//! `OVERRIDE_LOCK` for its whole body — `#[test]` functions in one binary
+//! run concurrently.
+
+use proptest::prelude::*;
+use rayon::pool;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use trident_nn::linalg;
+use trident_nn::{Activation, ActivationLayer, Dense, Sequential, Tensor, TensorArena};
+
+fn override_lock() -> MutexGuard<'static, ()> {
+    static OVERRIDE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match OVERRIDE_LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Deterministic, sign-varied f32 fill so additions are order-sensitive
+/// in the low mantissa bits.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2003) as f32 - 1001.0) / 617.0
+        })
+        .collect()
+}
+
+fn bits_of(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|x| x.to_bits()).collect()
+}
+
+/// A Dense(+bias)→GstRelu→Dense stack with deterministic weights: the
+/// first pair is fusion-eligible, the tail layer is not, so the arena
+/// forward exercises both the fused and the plain `try_forward_in` arms.
+fn stacked_net(m: usize, k: usize, n: usize, seed: u64) -> Sequential {
+    let mut hidden = Dense::from_weights(Tensor::from_vec(&[n, k], fill(n * k, seed))).with_bias();
+    if let Some(b) = &mut hidden.bias {
+        b.data_mut().copy_from_slice(&fill(n, seed ^ 0xb1a5));
+    }
+    let out = Dense::from_weights(Tensor::from_vec(&[m, n], fill(m * n, seed ^ 0x0707)));
+    Sequential::new()
+        .push(hidden)
+        .push(ActivationLayer::new(Activation::GstRelu { threshold: 0.1, slope: 1.2 }))
+        .push(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fused `act(A·B + bias)` vs the unfused allocating sequence
+    /// (`matmul` → row-wise bias add → `map(act)`), bitwise, at every
+    /// thread count. Sizes straddle `PAR_THRESHOLD` so both the
+    /// sequential and the parallel blocked path get hit.
+    #[test]
+    fn fused_matmul_bias_act_bitwise_matches_unfused(
+        m in 4usize..24,
+        k in 4usize..40,
+        n in 4usize..24,
+        seed in 1u64..1_000_000,
+    ) {
+        let _guard = override_lock();
+        let a = Tensor::from_vec(&[m, k], fill(m * k, seed));
+        let b = Tensor::from_vec(&[k, n], fill(k * n, seed ^ 0xabcd));
+        let bias = fill(n, seed ^ 0x5eed);
+        let act = Activation::GstRelu { threshold: 0.05, slope: 0.34 };
+        for threads in [1usize, 2, 8] {
+            pool::set_thread_override(Some(threads));
+            let mut h = linalg::matmul(&a, &b);
+            for row in h.data_mut().chunks_exact_mut(n) {
+                for (v, bj) in row.iter_mut().zip(&bias) {
+                    *v += bj;
+                }
+            }
+            let unfused = h.map(|v| act.forward(v));
+            let mut fused = Tensor::zeros(&[m, n]);
+            linalg::matmul_bias_act_into(&a, &b, Some(&bias), |v| act.forward(v), &mut fused);
+            prop_assert_eq!(
+                bits_of(fused.data()),
+                bits_of(unfused.data()),
+                "threads={}", threads
+            );
+        }
+        pool::set_thread_override(None);
+    }
+
+    /// The arena-backed network forward (fused Dense→Activation included)
+    /// vs the allocating `try_forward`, bitwise, at every thread count.
+    #[test]
+    fn arena_forward_bitwise_matches_allocating_forward(
+        m in 1usize..12,
+        k in 4usize..32,
+        n in 4usize..24,
+        seed in 1u64..1_000_000,
+    ) {
+        let _guard = override_lock();
+        let x = Tensor::from_vec(&[m, k], fill(m * k, seed ^ 0x77));
+        for threads in [1usize, 2, 8] {
+            pool::set_thread_override(Some(threads));
+            let mut net = stacked_net(m, k, n, seed);
+            let reference = net.try_forward(&x).expect("allocating forward");
+            let mut arena = TensorArena::new();
+            let out = net.try_forward_in(&x, &mut arena).expect("arena forward");
+            prop_assert_eq!(
+                bits_of(out.data()),
+                bits_of(reference.data()),
+                "threads={}", threads
+            );
+            arena.give(out);
+            arena.reset();
+        }
+        pool::set_thread_override(None);
+    }
+
+    /// Arena reuse invariant: after a warm-up batch, running the same
+    /// batch again checks the same slabs back out — no heap growth, no
+    /// new high-water mark, and no change in bytes checked out at peak.
+    #[test]
+    fn arena_high_water_is_stable_across_identical_batches(
+        m in 1usize..12,
+        k in 4usize..32,
+        n in 4usize..24,
+        seed in 1u64..1_000_000,
+    ) {
+        let _guard = override_lock();
+        let x = Tensor::from_vec(&[m, k], fill(m * k, seed ^ 0x99));
+        let mut net = stacked_net(m, k, n, seed);
+        let mut arena = TensorArena::new();
+        // Warm-up batch: slab growth here is expected and uncounted debt.
+        let out = net.try_forward_in(&x, &mut arena).expect("warm-up forward");
+        arena.give(out);
+        arena.reset();
+        let warm_high_water = arena.high_water_bytes();
+        let warm_allocs = arena.heap_allocs();
+        for batch in 0..3 {
+            let out = net.try_forward_in(&x, &mut arena).expect("steady-state forward");
+            arena.give(out);
+            arena.reset();
+            prop_assert_eq!(
+                arena.high_water_bytes(), warm_high_water,
+                "batch {} grew the high-water mark", batch
+            );
+            prop_assert_eq!(
+                arena.heap_allocs(), warm_allocs,
+                "batch {} allocated on the steady-state path", batch
+            );
+        }
+    }
+}

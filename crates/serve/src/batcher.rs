@@ -59,6 +59,10 @@ pub enum Enqueue {
 pub struct Batcher {
     policy: BatchPolicy,
     pending: Vec<Request>,
+    /// Storage handed back by [`Batcher::recycle`], reused as the next
+    /// open batch so the close/dispatch cycle stops allocating once the
+    /// capacity has grown to the steady batch size.
+    spare: Option<Vec<Request>>,
     generation: u64,
 }
 
@@ -68,7 +72,7 @@ impl Batcher {
     pub fn new(policy: BatchPolicy) -> Self {
         let policy =
             BatchPolicy { batch_max: policy.batch_max.max(1), linger_ns: policy.linger_ns };
-        Self { policy, pending: Vec::new(), generation: 0 }
+        Self { policy, pending: Vec::new(), spare: None, generation: 0 }
     }
 
     /// Admission test: shed when the estimated completion time is past
@@ -111,10 +115,19 @@ impl Batcher {
     }
 
     /// Close the open batch: take the pending requests and bump the
-    /// generation (invalidating any armed timer).
+    /// generation (invalidating any armed timer). The next open batch
+    /// reuses any storage returned via [`Batcher::recycle`].
     pub fn close(&mut self) -> Vec<Request> {
         self.generation += 1;
-        std::mem::take(&mut self.pending)
+        let next = self.spare.take().unwrap_or_default();
+        std::mem::replace(&mut self.pending, next)
+    }
+
+    /// Hand a dispatched batch's storage back so the next open batch can
+    /// reuse it instead of growing a fresh `Vec`.
+    pub fn recycle(&mut self, mut batch: Vec<Request>) {
+        batch.clear();
+        self.spare = Some(batch);
     }
 }
 
@@ -156,6 +169,23 @@ mod tests {
         };
         assert_ne!(generation, g2);
         assert!(b.timer_live(g2));
+    }
+
+    #[test]
+    fn recycled_storage_backs_the_next_batch() {
+        let mut b = Batcher::new(BatchPolicy { batch_max: 2, linger_ns: 100 });
+        b.enqueue(req(0, 0, 500), 0);
+        b.enqueue(req(1, 10, 500), 10);
+        let batch = b.close();
+        let cap = batch.capacity();
+        assert!(cap >= 2);
+        b.recycle(batch);
+        b.enqueue(req(2, 20, 500), 20);
+        b.enqueue(req(3, 30, 500), 30);
+        let batch = b.close();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.capacity(), cap, "the recycled storage must be reused");
+        assert_eq!(batch[0].id, 2);
     }
 
     #[test]

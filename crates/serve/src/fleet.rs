@@ -106,42 +106,6 @@ struct Replica {
     busy_ns: u64,
 }
 
-impl Replica {
-    /// Forward a batch of inputs, returning per-input argmax predictions
-    /// and the batch's simulated service time in ns (the engine's own
-    /// elapsed-time delta).
-    fn forward_batch(
-        &mut self,
-        inputs: &[&[f64]],
-    ) -> Result<(Vec<usize>, u64), ServeError> {
-        let elapsed_before = self.engine.total_elapsed().value();
-        let mut predictions = Vec::with_capacity(inputs.len());
-        for &x in inputs {
-            let logits = self.engine.try_forward_stage(x, self.tail)?;
-            predictions.push(argmax(&logits));
-        }
-        let service =
-            obs::counter::ns_from_ns_f64(self.engine.total_elapsed().value() - elapsed_before);
-        Ok((predictions, service.max(1)))
-    }
-
-    /// Forward a batch and pass the raw stage outputs on (pipeline
-    /// interior stages).
-    fn forward_stage(
-        &mut self,
-        inputs: &[Vec<f64>],
-    ) -> Result<(Vec<Vec<f64>>, u64), ServeError> {
-        let elapsed_before = self.engine.total_elapsed().value();
-        let mut outputs = Vec::with_capacity(inputs.len());
-        for x in inputs {
-            outputs.push(self.engine.try_forward_stage(x, self.tail)?);
-        }
-        let service =
-            obs::counter::ns_from_ns_f64(self.engine.total_elapsed().value() - elapsed_before);
-        Ok((outputs, service.max(1)))
-    }
-}
-
 /// NaN-safe argmax over logits (total order, empty → class 0).
 fn argmax(logits: &[f64]) -> usize {
     logits
@@ -184,6 +148,14 @@ pub struct Fleet {
     /// admission-control estimate. Updated `est = (3·est + actual) / 4`
     /// after every dispatch, so it is deterministic integer arithmetic.
     est_ns_per_item: u64,
+    /// Reused per-dispatch prediction buffer.
+    pred_scratch: Vec<usize>,
+    /// Reused per-sample activation buffers the pipeline stages hand off
+    /// through (replica-parallel dispatch never touches them).
+    stage_io: Vec<Vec<f64>>,
+    /// Fleet-side heap-growth events on the dispatch path (the engines
+    /// keep their own counters; [`Fleet::hot_path_allocs`] sums both).
+    local_allocs: u64,
 }
 
 impl Fleet {
@@ -260,7 +232,52 @@ impl Fleet {
                 busy_ns: 0,
             });
         }
-        Ok(Self { sharding, replicas, est_ns_per_item: est_ns_per_item_init.max(1) })
+        Ok(Self {
+            sharding,
+            replicas,
+            est_ns_per_item: est_ns_per_item_init.max(1),
+            pred_scratch: Vec::new(),
+            stage_io: Vec::new(),
+            local_allocs: 0,
+        })
+    }
+
+    /// Pre-size every replica's engine scratch plus the fleet's own
+    /// dispatch buffers for batches up to `batch` requests. Called once
+    /// at fleet build time (the event loop calls it right after
+    /// [`Fleet::try_build`]); growth here is warm-up, not counted in
+    /// [`Fleet::hot_path_allocs`].
+    pub fn reserve_scratch(&mut self, batch: usize) {
+        for r in &mut self.replicas {
+            r.engine.reserve_forward_scratch(batch);
+        }
+        let wmax = self
+            .replicas
+            .iter()
+            .flat_map(|r| r.engine.dims().iter().copied())
+            .max()
+            .unwrap_or(0);
+        while self.stage_io.len() < batch {
+            self.stage_io.push(Vec::new());
+        }
+        for slot in &mut self.stage_io {
+            if slot.capacity() < wmax {
+                slot.reserve(wmax - slot.len());
+            }
+        }
+        if self.pred_scratch.capacity() < batch {
+            let need = batch - self.pred_scratch.len();
+            self.pred_scratch.reserve(need);
+        }
+    }
+
+    /// Heap-growth events on the dispatch hot path since construction:
+    /// the fleet's own staging buffers plus every replica engine's
+    /// forward scratch. Zero growth across a window of warm dispatches
+    /// is the zero-allocation claim `ablation_serve` reports.
+    pub fn hot_path_allocs(&self) -> u64 {
+        self.local_allocs
+            + self.replicas.iter().map(|r| r.engine.hot_path_allocs()).sum::<u64>()
     }
 
     /// Number of replicas (pipeline: stages).
@@ -300,16 +317,37 @@ impl Fleet {
     /// Route one closed batch through the fleet at virtual time
     /// `now_ns`. Returns per-request completions; replica ledgers and
     /// the admission estimator update as a side effect.
+    ///
+    /// Allocating wrapper over [`Fleet::dispatch_into`]; the event loop
+    /// uses the `_into` form with a reused completion buffer.
     pub fn dispatch(
         &mut self,
         now_ns: u64,
         batch: &[Request],
     ) -> Result<Vec<Completion>, ServeError> {
+        let mut completions = Vec::new();
+        self.dispatch_into(now_ns, batch, &mut completions)?;
+        Ok(completions)
+    }
+
+    /// Route one closed batch through the fleet, writing per-request
+    /// completions into a caller-owned buffer (cleared first). Each
+    /// engine forward goes through its batched zero-alloc path, so a
+    /// warm fleet with a warm `completions` buffer dispatches an entire
+    /// batch without heap allocation.
+    pub fn dispatch_into(
+        &mut self,
+        now_ns: u64,
+        batch: &[Request],
+        completions: &mut Vec<Completion>,
+    ) -> Result<(), ServeError> {
+        completions.clear();
         if batch.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let _span = obs::span("serve.dispatch");
-        let (done_ns, predictions, tail_id, total_service) = match self.sharding {
+        let n = batch.len();
+        let (done_ns, tail_id, total_service) = match self.sharding {
             Sharding::ReplicaParallel => {
                 // Least-loaded routing, ties to the lowest id — a pure
                 // function of the ledger state, so fully deterministic.
@@ -320,51 +358,89 @@ impl Fleet {
                     .min_by_key(|(id, r)| (r.free_at_ns, *id))
                     .map(|(id, _)| id)
                     .unwrap_or(0);
+                let mut preds = std::mem::take(&mut self.pred_scratch);
+                let had_preds = preds.capacity();
+                preds.clear();
                 let replica = &mut self.replicas[pick];
                 let start = now_ns.max(replica.free_at_ns);
-                let inputs: Vec<&[f64]> = batch.iter().map(|r| r.input.as_slice()).collect();
-                let (predictions, service) = replica.forward_batch(&inputs)?;
+                let elapsed_before = replica.engine.total_elapsed().value();
+                let outputs = replica.engine.try_forward_batch(batch, replica.tail)?;
+                preds.extend(outputs.iter().map(|o| argmax(o)));
+                let service = obs::counter::ns_from_ns_f64(
+                    replica.engine.total_elapsed().value() - elapsed_before,
+                )
+                .max(1);
                 let done = start.saturating_add(service);
                 replica.free_at_ns = done;
                 replica.busy_ns += service;
                 replica.batches += 1;
-                replica.requests += batch.len() as u64;
-                (done, predictions, pick, service)
+                replica.requests += n as u64;
+                if preds.capacity() > had_preds {
+                    self.local_allocs += 1;
+                }
+                self.pred_scratch = preds;
+                (done, pick, service)
             }
             Sharding::LayerPipeline => {
                 // The batch flows through every stage; stage s frees at
                 // its own completion, so the next batch can enter stage
-                // s while this one is in stage s+1.
-                let mut activations: Vec<Vec<f64>> =
-                    batch.iter().map(|r| r.input.clone()).collect();
+                // s while this one is in stage s+1. Stage outputs hand
+                // off through the fleet's reused `stage_io` buffers.
+                while self.stage_io.len() < n {
+                    self.stage_io.push(Vec::new());
+                    self.local_allocs += 1;
+                }
                 let mut t = now_ns;
                 let mut total_service = 0u64;
                 let last = self.replicas.len() - 1;
-                let mut predictions = Vec::new();
-                for (s, stage) in self.replicas.iter_mut().enumerate() {
+                for s in 0..self.replicas.len() {
+                    let stage = &mut self.replicas[s];
                     let start = t.max(stage.free_at_ns);
-                    let (outputs, service) = stage.forward_stage(&activations)?;
+                    let elapsed_before = stage.engine.total_elapsed().value();
+                    let outputs = if s == 0 {
+                        stage.engine.try_forward_batch(batch, stage.tail)?
+                    } else {
+                        stage.engine.try_forward_batch(&self.stage_io[..n], stage.tail)?
+                    };
+                    let mut grew = 0u64;
+                    for (slot, out) in self.stage_io.iter_mut().take(n).zip(outputs) {
+                        let had = slot.capacity();
+                        slot.clear();
+                        slot.extend_from_slice(out);
+                        if slot.capacity() > had {
+                            grew += 1;
+                        }
+                    }
+                    let service = obs::counter::ns_from_ns_f64(
+                        stage.engine.total_elapsed().value() - elapsed_before,
+                    )
+                    .max(1);
                     t = start.saturating_add(service);
                     stage.free_at_ns = t;
                     stage.busy_ns += service;
                     stage.batches += 1;
-                    stage.requests += batch.len() as u64;
+                    stage.requests += n as u64;
                     total_service = total_service.saturating_add(service);
-                    if s == last {
-                        predictions = outputs.iter().map(|o| argmax(o)).collect();
-                    }
-                    activations = outputs;
+                    self.local_allocs += grew;
                 }
-                (t, predictions, last, total_service)
+                let mut preds = std::mem::take(&mut self.pred_scratch);
+                let had_preds = preds.capacity();
+                preds.clear();
+                preds.extend(self.stage_io.iter().take(n).map(|o| argmax(o)));
+                if preds.capacity() > had_preds {
+                    self.local_allocs += 1;
+                }
+                self.pred_scratch = preds;
+                (t, last, total_service)
             }
         };
         // Integer EWMA of per-request service time feeds admission
         // control; deterministic by construction.
-        let actual_per_item = (total_service / batch.len() as u64).max(1);
+        let actual_per_item = (total_service / n as u64).max(1);
         self.est_ns_per_item = (3 * self.est_ns_per_item + actual_per_item) / 4;
 
-        let mut completions = Vec::with_capacity(batch.len());
-        for (slot, (req, &predicted)) in batch.iter().zip(&predictions).enumerate() {
+        let had_completions = completions.capacity();
+        for (slot, (req, &predicted)) in batch.iter().zip(&self.pred_scratch).enumerate() {
             if predicted == req.label {
                 self.replicas[tail_id].correct += 1;
             }
@@ -375,7 +451,10 @@ impl Fleet {
                 replica: tail_id,
             });
         }
-        Ok(completions)
+        if completions.capacity() > had_completions {
+            self.local_allocs += 1;
+        }
+        Ok(())
     }
 
     /// Inject a fault plan into one replica mid-run (the graceful-

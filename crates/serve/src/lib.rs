@@ -72,6 +72,15 @@ pub struct Request {
     pub label: usize,
 }
 
+impl AsRef<[f64]> for Request {
+    /// The input vector — lets a `&[Request]` batch feed
+    /// `PhotonicMlp::try_forward_batch` directly, with no per-dispatch
+    /// slice-of-slices staging allocation.
+    fn as_ref(&self) -> &[f64] {
+        &self.input
+    }
+}
+
 /// Typed serving-layer errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {

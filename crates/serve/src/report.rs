@@ -44,6 +44,11 @@ pub struct ServeReport {
     pub max_ns: u64,
     /// Virtual time from first arrival to last completion, ns.
     pub horizon_ns: u64,
+    /// Hot-path heap allocations after the first (warm-up) dispatch —
+    /// the zero-alloc steady-state claim is that this is 0. Diagnostic
+    /// only: **not** rendered in [`ServeReport::to_json`], so the JSON
+    /// export stays byte-identical to earlier versions.
+    pub steady_state_allocs: u64,
     /// Per-replica ledgers, id order.
     pub replicas: Vec<ReplicaReport>,
     /// The merged fleet-wide latency histogram.
@@ -158,6 +163,7 @@ mod tests {
             p999_ns: 300,
             max_ns: 300,
             horizon_ns: 1_000_000_000,
+            steady_state_allocs: 0,
             replicas: vec![ReplicaReport {
                 id: 0,
                 requests: 8,

@@ -111,6 +111,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         cfg.sharding,
         cfg.est_ns_per_item_init,
     )?;
+    // Size every replica's forward scratch for the largest batch the
+    // batcher can close, so steady-state dispatch allocates nothing.
+    fleet.reserve_scratch(cfg.batch_max.max(1));
     for fe in &cfg.fault_events {
         if fe.replica >= fleet.len() {
             return Err(ServeError::ReplicaOutOfRange {
@@ -153,21 +156,31 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         horizon_ns: arrivals.last().copied().unwrap_or(0),
     };
 
+    // Reused across every dispatch (zero-alloc steady state), plus the
+    // hot-path allocation mark taken after the first (warm-up) dispatch:
+    // final minus mark = steady-state allocations, which the zero-alloc
+    // contract says is 0.
+    let mut completions = Vec::new();
+    let mut warm_alloc_mark: Option<u64> = None;
+
     // The dispatch body, shared by the size and timer triggers.
+    #[allow(clippy::too_many_arguments)]
     fn close_and_dispatch(
         now_ns: u64,
         batcher: &mut Batcher,
         fleet: &mut Fleet,
         hists: &mut [LatencyHistogram],
         tallies: &mut Tallies,
+        completions: &mut Vec<crate::fleet::Completion>,
+        warm_alloc_mark: &mut Option<u64>,
     ) -> Result<(), ServeError> {
         let batch = batcher.close();
         if batch.is_empty() {
             return Ok(());
         }
         obs::add(obs::Counter::ServeBatches, 1);
-        let completions = fleet.dispatch(now_ns, &batch)?;
-        for c in &completions {
+        fleet.dispatch_into(now_ns, &batch, completions)?;
+        for c in completions.iter() {
             let req = &batch[c.batch_slot];
             let latency = c.done_ns.saturating_sub(req.arrival_ns);
             hists[c.replica].record_ns(latency);
@@ -182,6 +195,10 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                 tallies.served_correct += 1;
             }
             tallies.horizon_ns = tallies.horizon_ns.max(c.done_ns);
+        }
+        batcher.recycle(batch);
+        if warm_alloc_mark.is_none() {
+            *warm_alloc_mark = Some(fleet.hot_path_allocs());
         }
         Ok(())
     }
@@ -209,6 +226,8 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                         &mut fleet,
                         &mut hists,
                         &mut tallies,
+                        &mut completions,
+                        &mut warm_alloc_mark,
                     )?,
                     Enqueue::ArmTimer { at_ns, generation } => {
                         kinds.push(EventKind::BatchTimer(generation));
@@ -226,6 +245,8 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
                         &mut fleet,
                         &mut hists,
                         &mut tallies,
+                        &mut completions,
+                        &mut warm_alloc_mark,
                     )?;
                 }
             }
@@ -259,6 +280,9 @@ pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
         p999_ns: merged.quantile_upper_ns(999, 1000),
         max_ns: merged.max_upper_ns(),
         horizon_ns: tallies.horizon_ns,
+        steady_state_allocs: warm_alloc_mark
+            .map(|mark| fleet.hot_path_allocs() - mark)
+            .unwrap_or(0),
         replicas: fleet.ledgers(),
         latency: merged,
     })
@@ -309,6 +333,23 @@ mod tests {
         let replica_requests: u64 = a.replicas.iter().map(|r| r.requests).sum();
         assert_eq!(replica_requests, a.served);
         assert!(a.replicas.iter().any(|r| r.energy_pj > 0.0));
+    }
+
+    #[test]
+    fn steady_state_dispatch_allocates_nothing() {
+        for sharding in [Sharding::ReplicaParallel, Sharding::LayerPipeline] {
+            let mut cfg = tiny_config();
+            cfg.scenario = format!("alloc_{}", sharding.key());
+            cfg.sharding = sharding;
+            cfg.replicas.truncate(2);
+            let report = run(&cfg).unwrap();
+            assert!(report.served > cfg.batch_max as u64, "needs multiple batches to be meaningful");
+            assert_eq!(
+                report.steady_state_allocs, 0,
+                "{}: dispatch after warm-up must not allocate",
+                sharding.key()
+            );
+        }
     }
 
     #[test]
