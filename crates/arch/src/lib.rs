@@ -14,6 +14,10 @@
 //! * [`engine`] — a multi-PE engine that runs whole dense networks
 //!   photonically, for inference and full in-situ backpropagation, with
 //!   energy/time ledgers.
+//! * [`transformer`] — transformer blocks on the same fabric: attention
+//!   as chained MVMs with the KV-cache held *in* the PCM banks, digital
+//!   LDSU softmax/LayerNorm, ViT-style classify and GPT-style decode
+//!   paths with straight-line f64 digital twins.
 //!
 //! **Analytical** — the evaluation-section models:
 //! * [`config`] — the architecture's constants (Table III device powers,
@@ -52,6 +56,7 @@ pub mod perf;
 pub mod pipeline;
 pub mod power;
 pub mod training;
+pub mod transformer;
 pub mod variation;
 
 pub use bank::{ProgramReport, WeightBank};
@@ -66,4 +71,5 @@ pub use pe::{PeMode, ProcessingElement};
 pub use perf::{LayerPerf, ModelPerf, TridentPerfModel};
 pub use power::PePowerModel;
 pub use training::{AdaptationOutcome, DualAdaptiveTrainer, ErrorModel};
+pub use transformer::{PhotonicTransformer, TransformerConfig};
 pub use variation::{DriftRow, DriftStudy, VariationRow, VariationStudy};

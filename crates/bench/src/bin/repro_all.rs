@@ -34,6 +34,10 @@ fn main() {
         Box::new(|| ex::ablations::variation::render(3, 2)),
         Box::new(|| ex::ablations::drift::render(3, 2)),
         Box::new(|| ex::ablations::serve::render(2, 200)),
+        // New sections append strictly at the end so every pre-existing
+        // section's bytes stay pinned by the golden snapshots.
+        Box::new(ex::transformer::render_perf),
+        Box::new(ex::transformer::render_kv),
     ];
     let sections: Vec<String> = renderers.into_par_iter().map(|render| render()).collect();
     for section in sections {

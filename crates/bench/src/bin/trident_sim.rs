@@ -10,7 +10,8 @@
 //! trident_sim gate                        the reproduction gate (CI)
 //! ```
 //!
-//! Models: alexnet, vgg16, googlenet, mobilenetv2, resnet50, lenet5.
+//! Models: alexnet, vgg16, googlenet, mobilenetv2, resnet50, lenet5,
+//! vittiny, gptdecoder.
 
 use trident::arch::config::TridentConfig;
 use trident::arch::endurance::{budget, UsageProfile};
@@ -26,7 +27,7 @@ use trident::workload::zoo;
 fn usage() -> ! {
     eprintln!(
         "usage: trident_sim <analyze|deploy|pipeline|compare|endurance|gate> [model] [batch]\n\
-         models: alexnet vgg16 googlenet mobilenetv2 resnet50 lenet5"
+         models: alexnet vgg16 googlenet mobilenetv2 resnet50 lenet5 vittiny gptdecoder"
     );
     std::process::exit(2);
 }

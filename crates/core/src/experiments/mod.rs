@@ -17,6 +17,7 @@
 //! | [`fig5`] | Fig. 5 — Trident chip area breakdown |
 //! | [`fig6`] | Fig. 6 — inferences/s across all six accelerators |
 //! | [`ablations`] | bit-resolution, tuning-method, ADC, PE-scaling, DFA, variation sweeps |
+//! | [`transformer`] | transformer workloads: perf comparison + KV-cache dataflow |
 //! | [`gate`] | the reproduction gate: every claim checked in one pass |
 
 pub mod ablations;
@@ -30,6 +31,7 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod table5;
+pub mod transformer;
 
 /// The image count Table V trains over.
 pub const TABLE_V_IMAGES: u64 = 50_000;

@@ -59,8 +59,13 @@ const STOP_PREFIXES: &[&str] = &["new", "with_", "from_", "build", "try_build", 
 
 /// Exact names pruned from the walk: the device-model boundary, the
 /// arena's sanctioned allocator surface, and `zeros` (a constructor).
+/// `mvm` / `mvm_signed` are the bank's raw and dual-rail optical reads
+/// and `program_flat` the GST write pulse train — the same device-model
+/// category as `mvm_unsigned`: their temporaries stand in for on-chip
+/// dataflow, not host memory.
 const STOP_NAMES: &[&str] = &[
-    "default", "mvm_unsigned", "latch_and_activate", "outer_product", "take", "give", "zeros",
+    "default", "mvm", "mvm_unsigned", "mvm_signed", "latch_and_activate", "outer_product",
+    "program_flat", "take", "give", "zeros",
 ];
 
 /// Names whose call edges are meaningless under name-based resolution:

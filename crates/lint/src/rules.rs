@@ -113,6 +113,8 @@ pub fn is_unit_bearing(rel: &str) -> bool {
                 | "crates/arch/src/area.rs"
                 | "crates/arch/src/endurance.rs"
                 | "crates/pcm/src/stat.rs"
+                | "crates/nn/src/attention.rs"
+                | "crates/workload/src/kv.rs"
         )
 }
 

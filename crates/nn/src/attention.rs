@@ -1,0 +1,378 @@
+//! Scaled-dot-product attention kernels for the transformer workloads.
+//!
+//! The float reference for the photonic attention lowering (DESIGN.md
+//! §16). Three layers of API, all built on the [`crate::linalg`] GEMM so
+//! the k-order contract carries over unchanged:
+//!
+//! * Row-wise primitives — [`softmax_rows_inplace`] (safe softmax:
+//!   subtract the row max before exponentiating) and
+//!   [`layer_norm_rows_into`], the two ops the accelerator executes on
+//!   the digital LDSU path rather than in the optical domain.
+//! * [`attention_unfused`] — the straight-line allocating sequence
+//!   `matmul → scale/mask → softmax → matmul`, the oracle shape.
+//! * [`attention_fused_into`] — the serving path: identical op sequence
+//!   staged through a [`TensorArena`] so the steady state allocates
+//!   nothing. Fused and unfused run the *same* kernels in the same
+//!   order, so their outputs are bitwise identical at any thread count
+//!   (pinned by `crates/nn/tests/attention_props.rs`).
+//!
+//! [`multi_head_attention_into`] composes the single-head kernel with
+//! per-head column gather/scatter and the four projection GEMMs into the
+//! full transformer sublayer.
+
+use crate::arena::TensorArena;
+use crate::linalg::{matmul_into, transpose_into};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Work-size threshold below which row loops stay sequential (same
+/// policy as the `linalg` kernels: threading overhead wins on tiny
+/// tensors, and per-row work is independent either way).
+const PAR_THRESHOLD: usize = 64 * 64;
+
+/// `usize → f32` for small structural counts (head widths, row lengths)
+/// without a raw cast: exact through the `u16` range, which covers every
+/// dimension this crate handles; saturates (never wraps) beyond it.
+fn count_f32(n: usize) -> f32 {
+    f32::from(u16::try_from(n).unwrap_or(u16::MAX))
+}
+
+/// The paper-standard attention temperature `1/√d_head`.
+pub fn attention_scale(d_head: usize) -> f32 {
+    1.0 / count_f32(d_head.max(1)).sqrt()
+}
+
+/// Safe softmax over one row: subtract the running max, exponentiate,
+/// normalise by one reciprocal multiply. Sequential left-to-right sums,
+/// so the result is a pure function of the row contents.
+fn softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let mut max = f32::NEG_INFINITY;
+    for &x in row.iter() {
+        if x > max {
+            max = x;
+        }
+    }
+    let mut sum = 0.0f32;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    for x in row.iter_mut() {
+        *x *= inv;
+    }
+}
+
+/// Row-wise safe softmax, in place over a `[rows, cols]` tensor.
+///
+/// Rows are independent and each is written by exactly one task, so the
+/// result is bitwise identical at any thread count. `-∞` entries (the
+/// causal mask) contribute exactly `0` to their row.
+pub fn softmax_rows_inplace(x: &mut Tensor) {
+    assert_eq!(x.ndim(), 2, "softmax input must be 2-D");
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let data = x.data_mut();
+    if rows * cols >= PAR_THRESHOLD {
+        data.par_chunks_mut(cols).for_each(softmax_row);
+    } else {
+        for row in data.chunks_mut(cols) {
+            softmax_row(row);
+        }
+    }
+}
+
+/// Allocating wrapper over [`softmax_rows_inplace`].
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    let mut out = x.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// Row-wise LayerNorm: `out = (x − μ) · 1/√(σ² + eps) · gamma + beta`,
+/// with per-row mean/variance accumulated left to right (population
+/// variance, matching the transformer convention). Rows are independent,
+/// so the result is bitwise identical at any thread count.
+pub fn layer_norm_rows_into(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32, out: &mut Tensor) {
+    assert_eq!(x.ndim(), 2, "layer_norm input must be 2-D");
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    assert_eq!(gamma.len(), cols, "layer_norm gamma length must match columns");
+    assert_eq!(beta.len(), cols, "layer_norm beta length must match columns");
+    assert_eq!(out.shape(), &[rows, cols], "layer_norm output buffer must be [{rows}, {cols}]");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    let inv_n = 1.0 / count_f32(cols);
+    let x_data = x.data();
+    let kernel = |src: &[f32], dst: &mut [f32]| {
+        let mut mean = 0.0f32;
+        for &v in src {
+            mean += v;
+        }
+        mean *= inv_n;
+        let mut var = 0.0f32;
+        for &v in src {
+            let d = v - mean;
+            var += d * d;
+        }
+        var *= inv_n;
+        let inv_std = 1.0 / (var + eps).sqrt();
+        for (j, (d, &v)) in dst.iter_mut().zip(src).enumerate() {
+            *d = (v - mean) * inv_std * gamma[j] + beta[j];
+        }
+    };
+    if rows * cols >= PAR_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(cols)
+            .enumerate()
+            .for_each(|(i, dst)| kernel(&x_data[i * cols..(i + 1) * cols], dst));
+    } else {
+        for (i, dst) in out.data_mut().chunks_mut(cols).enumerate() {
+            kernel(&x_data[i * cols..(i + 1) * cols], dst);
+        }
+    }
+}
+
+/// Allocating wrapper over [`layer_norm_rows_into`].
+pub fn layer_norm_rows(x: &Tensor, gamma: &[f32], beta: &[f32], eps: f32) -> Tensor {
+    let mut out = Tensor::zeros(x.shape());
+    layer_norm_rows_into(x, gamma, beta, eps, &mut out);
+    out
+}
+
+/// Elementwise temperature + causal mask over raw scores: every kept
+/// entry becomes `s · scale`; masked entries (`col > row + offset`, i.e.
+/// keys strictly in the future of the query) become `-∞` so softmax
+/// assigns them exactly zero weight. `offset` is the absolute position
+/// of query row 0, which lets a single-row decode step reuse the same
+/// mask arithmetic as a full prefill.
+fn scale_mask_rows(scores: &mut Tensor, scale: f32, causal: bool, offset: usize) {
+    let cols = scores.shape()[1];
+    for (i, row) in scores.data_mut().chunks_mut(cols).enumerate() {
+        for (j, s) in row.iter_mut().enumerate() {
+            *s = if causal && j > i + offset { f32::NEG_INFINITY } else { *s * scale };
+        }
+    }
+}
+
+/// Single-head scaled-dot-product attention, straight-line allocating
+/// form: `softmax(mask(Q·Kᵀ · scale)) · V`, each step materialised as
+/// its own tensor. This is the differential oracle the fused arena path
+/// is pinned against.
+///
+/// `q: [s_q, d]`, `k: [s_k, d]`, `v: [s_k, d_v]` → `[s_q, d_v]`. With
+/// `causal`, query row `i` may only attend to keys `j ≤ i + (s_k − s_q)`
+/// (queries are the *last* `s_q` positions of the key sequence, so a
+/// one-row decode step masks correctly against its full key history).
+pub fn attention_unfused(q: &Tensor, k: &Tensor, v: &Tensor, scale: f32, causal: bool) -> Tensor {
+    assert_eq!(q.ndim(), 2, "attention q must be 2-D");
+    assert_eq!(k.shape()[1], q.shape()[1], "attention k width must match q width");
+    assert_eq!(v.shape()[0], k.shape()[0], "attention v rows must match k rows");
+    let (s_q, s_k) = (q.shape()[0], k.shape()[0]);
+    assert!(s_k >= s_q || !causal, "causal attention needs at least as many keys as queries");
+    let mut scores = crate::linalg::matmul(q, &k.transposed());
+    scale_mask_rows(&mut scores, scale, causal, s_k - s_q);
+    let probs = softmax_rows(&scores);
+    crate::linalg::matmul(&probs, v)
+}
+
+/// Single-head attention staged through a caller-owned arena: the
+/// serving path. Identical kernels in identical order to
+/// [`attention_unfused`] — transpose, blocked GEMM, scale/mask, row
+/// softmax, blocked GEMM — so outputs are bitwise identical; the only
+/// difference is where the intermediates live. Zero heap growth once
+/// the arena is warm.
+pub fn attention_fused_into(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    scale: f32,
+    causal: bool,
+    arena: &mut TensorArena,
+    out: &mut Tensor,
+) {
+    assert_eq!(q.ndim(), 2, "attention q must be 2-D");
+    assert_eq!(k.ndim(), 2, "attention k must be 2-D");
+    assert_eq!(v.ndim(), 2, "attention v must be 2-D");
+    let (s_q, d) = (q.shape()[0], q.shape()[1]);
+    let (s_k, d_v) = (k.shape()[0], v.shape()[1]);
+    assert_eq!(k.shape()[1], d, "attention k width must match q width");
+    assert_eq!(v.shape()[0], s_k, "attention v rows must match k rows");
+    assert_eq!(out.shape(), &[s_q, d_v], "attention output buffer must be [{s_q}, {d_v}]");
+    assert!(s_k >= s_q || !causal, "causal attention needs at least as many keys as queries");
+
+    let mut kt = arena.take(&[d, s_k]);
+    transpose_into(k, &mut kt);
+    let mut scores = arena.take(&[s_q, s_k]);
+    matmul_into(q, &kt, &mut scores);
+    scale_mask_rows(&mut scores, scale, causal, s_k - s_q);
+    softmax_rows_inplace(&mut scores);
+    matmul_into(&scores, v, out);
+    arena.give(scores);
+    arena.give(kt);
+}
+
+/// Gather head `h`'s column slice `[h·d_head, (h+1)·d_head)` of a
+/// `[seq, d_model]` tensor into a dense `[seq, d_head]` buffer.
+fn gather_head(src: &Tensor, h: usize, d_head: usize, dst: &mut Tensor) {
+    let seq = src.shape()[0];
+    let d_model = src.shape()[1];
+    let s = src.data();
+    let d = dst.data_mut();
+    for i in 0..seq {
+        let from = i * d_model + h * d_head;
+        d[i * d_head..(i + 1) * d_head].copy_from_slice(&s[from..from + d_head]);
+    }
+}
+
+/// Scatter a `[seq, d_head]` head result back into its column slice of a
+/// `[seq, d_model]` concat buffer.
+fn scatter_head(src: &Tensor, h: usize, d_head: usize, dst: &mut Tensor) {
+    let seq = src.shape()[0];
+    let d_model = dst.shape()[1];
+    let s = src.data();
+    let d = dst.data_mut();
+    for i in 0..seq {
+        let to = i * d_model + h * d_head;
+        d[to..to + d_head].copy_from_slice(&s[i * d_head..(i + 1) * d_head]);
+    }
+}
+
+/// Full multi-head self-attention sublayer over `x: [seq, d_model]`:
+/// QKV projections, `heads` independent scaled-dot-product heads at
+/// temperature `1/√d_head`, concat, output projection. All four
+/// projections are `[d_model, d_model]` GEMMs (the photonic-eligible
+/// MVM work); the per-head softmax is the LDSU part. `d_model` must be
+/// divisible by `heads`.
+#[allow(clippy::too_many_arguments)]
+pub fn multi_head_attention_into(
+    x: &Tensor,
+    wq: &Tensor,
+    wk: &Tensor,
+    wv: &Tensor,
+    wo: &Tensor,
+    heads: usize,
+    causal: bool,
+    arena: &mut TensorArena,
+    out: &mut Tensor,
+) {
+    assert_eq!(x.ndim(), 2, "attention input must be 2-D");
+    let (seq, d_model) = (x.shape()[0], x.shape()[1]);
+    assert!(heads > 0 && d_model % heads == 0, "d_model must be divisible by heads");
+    let d_head = d_model / heads;
+    let scale = attention_scale(d_head);
+
+    let mut q = arena.take(&[seq, d_model]);
+    let mut k = arena.take(&[seq, d_model]);
+    let mut v = arena.take(&[seq, d_model]);
+    matmul_into(x, wq, &mut q);
+    matmul_into(x, wk, &mut k);
+    matmul_into(x, wv, &mut v);
+
+    let mut concat = arena.take(&[seq, d_model]);
+    let mut qh = arena.take(&[seq, d_head]);
+    let mut kh = arena.take(&[seq, d_head]);
+    let mut vh = arena.take(&[seq, d_head]);
+    let mut ctx = arena.take(&[seq, d_head]);
+    for h in 0..heads {
+        gather_head(&q, h, d_head, &mut qh);
+        gather_head(&k, h, d_head, &mut kh);
+        gather_head(&v, h, d_head, &mut vh);
+        attention_fused_into(&qh, &kh, &vh, scale, causal, arena, &mut ctx);
+        scatter_head(&ctx, h, d_head, &mut concat);
+    }
+    matmul_into(&concat, wo, out);
+    arena.give(ctx);
+    arena.give(vh);
+    arena.give(kh);
+    arena.give(qh);
+    arena.give(concat);
+    arena.give(v);
+    arena.give(k);
+    arena.give(q);
+}
+
+/// Allocating wrapper over [`multi_head_attention_into`].
+pub fn multi_head_attention(
+    x: &Tensor,
+    wq: &Tensor,
+    wk: &Tensor,
+    wv: &Tensor,
+    wo: &Tensor,
+    heads: usize,
+    causal: bool,
+) -> Tensor {
+    let mut arena = TensorArena::new();
+    let mut out = Tensor::zeros(&[x.shape()[0], x.shape()[1]]);
+    multi_head_attention_into(x, wq, wk, wv, wo, heads, causal, &mut arena, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{seeded_rng, xavier_uniform};
+
+    #[test]
+    fn softmax_handles_neg_infinity_mask() {
+        let mut t = Tensor::from_vec(&[1, 3], vec![0.4, f32::NEG_INFINITY, 0.1]);
+        softmax_rows_inplace(&mut t);
+        assert_eq!(t.data()[1], 0.0);
+        let sum: f32 = t.data().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attention_scale_matches_inverse_sqrt() {
+        assert_eq!(attention_scale(64), 1.0 / 8.0);
+        assert_eq!(attention_scale(16), 0.25);
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future_positions() {
+        let q = xavier_uniform(4, 8, &mut seeded_rng(1));
+        let k = xavier_uniform(4, 8, &mut seeded_rng(2));
+        let v = xavier_uniform(4, 8, &mut seeded_rng(3));
+        let full = attention_unfused(&q, &k, &v, attention_scale(8), true);
+        // Row 0 under the causal mask attends only to key 0, so its
+        // context must be exactly v's row 0 (softmax weight 1.0).
+        for (a, b) in full.row(0).iter().zip(v.row(0)) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn decode_step_matches_last_prefill_row() {
+        // One-query attention against the full key history (offset mask)
+        // must reproduce the last row of the full prefill.
+        let seq = 6;
+        let q = xavier_uniform(seq, 8, &mut seeded_rng(11));
+        let k = xavier_uniform(seq, 8, &mut seeded_rng(12));
+        let v = xavier_uniform(seq, 8, &mut seeded_rng(13));
+        let scale = attention_scale(8);
+        let full = attention_unfused(&q, &k, &v, scale, true);
+        let q_last = Tensor::from_vec(&[1, 8], q.row(seq - 1).to_vec());
+        let step = attention_unfused(&q_last, &k, &v, scale, true);
+        assert_eq!(step.data(), &full.data()[(seq - 1) * 8..seq * 8]);
+    }
+
+    #[test]
+    fn layer_norm_rows_are_standardised() {
+        let x = xavier_uniform(3, 16, &mut seeded_rng(7));
+        let gamma = vec![1.0f32; 16];
+        let beta = vec![0.0f32; 16];
+        let y = layer_norm_rows(&x, &gamma, &beta, 1e-5);
+        for i in 0..3 {
+            let row = y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "row {i} var {var}");
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`linalg`] — Rayon-parallel GEMM / GEMV / outer products, plus the
 //!   fused `matmul_bias_act` / `matvec_bias_act` kernels (bitwise
 //!   identical to the unfused sequences).
+//! * [`attention`] — scaled-dot-product attention, row softmax, and
+//!   LayerNorm: the float reference for the transformer lowering, with
+//!   a fused arena path bitwise-identical to the unfused sequence.
 //! * [`init`] — seeded weight initialisers.
 //! * [`layers`] — dense, conv2d (im2col), pooling, activations, flatten,
 //!   each with forward *and* backward passes.
@@ -34,6 +37,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_lossless))]
 
 pub mod arena;
+pub mod attention;
 pub mod data;
 pub mod error;
 pub mod init;
@@ -47,6 +51,11 @@ pub mod quant;
 pub mod tensor;
 
 pub use arena::TensorArena;
+pub use attention::{
+    attention_fused_into, attention_scale, attention_unfused, layer_norm_rows,
+    layer_norm_rows_into, multi_head_attention, multi_head_attention_into, softmax_rows,
+    softmax_rows_inplace,
+};
 pub use error::NnError;
 pub use layers::{Activation, ActivationLayer, AvgPool2d, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d};
 pub use loss::{mse, softmax_cross_entropy};

@@ -1,0 +1,151 @@
+//! Property tests for the attention kernels (DESIGN.md §16):
+//!
+//! * softmax rows sum to 1 within an ulp-scaled bound and commute with
+//!   column permutations,
+//! * attention against an identity value matrix reproduces the softmax
+//!   weights bitwise (the probability mass is directly observable),
+//! * the fused arena path is bitwise identical to the straight-line
+//!   unfused oracle at 1, 2 and 8 threads.
+//!
+//! Score matrices are drawn above the linalg `PAR_THRESHOLD` so the
+//! parallel blocked paths genuinely engage. The thread override is
+//! process-global, so every case holds `OVERRIDE_LOCK` for its body.
+
+use proptest::prelude::*;
+use rayon::pool;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use trident_nn::{
+    attention_fused_into, attention_scale, attention_unfused, softmax_rows, Tensor, TensorArena,
+};
+
+fn override_lock() -> MutexGuard<'static, ()> {
+    static OVERRIDE_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match OVERRIDE_LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Deterministic, sign-varied f32 fill so additions are order-sensitive
+/// in the low mantissa bits.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2003) as f32 - 1001.0) / 617.0
+        })
+        .collect()
+}
+
+fn bits_of(data: &[f32]) -> Vec<u32> {
+    data.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every softmax row sums to 1 within `cols` ulps (the sum is `cols`
+    /// additions of exact-ratio terms), and permuting columns commutes
+    /// with the softmax up to the same accumulation tolerance.
+    #[test]
+    fn softmax_rows_normalise_and_commute_with_permutation(
+        rows in 4usize..12,
+        cols in 64usize..128,
+        seed in 1u64..1_000_000,
+    ) {
+        let x = Tensor::from_vec(&[rows, cols], fill(rows * cols, seed));
+        let p = softmax_rows(&x);
+        let ulp_bound = cols as f32 * f32::EPSILON;
+        for row in p.data().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!(
+                (sum - 1.0).abs() <= ulp_bound,
+                "row sum {sum} off by more than {ulp_bound}"
+            );
+            prop_assert!(row.iter().all(|&v| v >= 0.0), "negative probability");
+        }
+        // Reverse the columns: softmax(perm(x)) must equal
+        // perm(softmax(x)) within accumulation tolerance (the row max is
+        // permutation-invariant; only the sum's order changes).
+        let mut rev_data = Vec::with_capacity(rows * cols);
+        for row in x.data().chunks(cols) {
+            rev_data.extend(row.iter().rev());
+        }
+        let p_rev = softmax_rows(&Tensor::from_vec(&[rows, cols], rev_data));
+        for (row_p, row_r) in p.data().chunks(cols).zip(p_rev.data().chunks(cols)) {
+            for (a, b) in row_p.iter().zip(row_r.iter().rev()) {
+                prop_assert!(
+                    (a - b).abs() <= ulp_bound,
+                    "permutation equivariance broken: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// With `V = I`, the attention output *is* the softmax weight matrix
+    /// — bitwise: multiplying by identity adds only exact `+0.0` terms.
+    #[test]
+    fn identity_value_matrix_exposes_softmax_weights(
+        s in 64usize..96,
+        d in 8usize..24,
+        seed in 1u64..1_000_000,
+    ) {
+        let q = Tensor::from_vec(&[s, d], fill(s * d, seed));
+        let k = Tensor::from_vec(&[s, d], fill(s * d, seed ^ 0xbeef));
+        let mut eye = Tensor::zeros(&[s, s]);
+        for i in 0..s {
+            eye.data_mut()[i * s + i] = 1.0;
+        }
+        let scale = attention_scale(d);
+        let got = attention_unfused(&q, &k, &eye, scale, false);
+        // The expected weights, via the same public kernels.
+        let mut scores = trident_nn::linalg::matmul(&q, &k.transposed());
+        for v in scores.data_mut() {
+            *v *= scale;
+        }
+        let expected = softmax_rows(&scores);
+        prop_assert_eq!(bits_of(got.data()), bits_of(expected.data()));
+    }
+
+    /// Fused (arena) attention is bitwise identical to the straight-line
+    /// unfused oracle, causal and not, at 1, 2 and 8 threads.
+    #[test]
+    fn fused_matches_unfused_bitwise_across_thread_counts(
+        s_q in 64usize..96,
+        extra_k in 0usize..16,
+        d in 8usize..24,
+        causal_bit in 0u8..2,
+        seed in 1u64..1_000_000,
+    ) {
+        let _guard = override_lock();
+        let causal = causal_bit == 1;
+        let s_k = s_q + extra_k;
+        let q = Tensor::from_vec(&[s_q, d], fill(s_q * d, seed));
+        let k = Tensor::from_vec(&[s_k, d], fill(s_k * d, seed ^ 0x5a5a));
+        let v = Tensor::from_vec(&[s_k, d], fill(s_k * d, seed ^ 0xc3c3));
+        let scale = attention_scale(d);
+        pool::set_thread_override(Some(1));
+        let reference = bits_of(attention_unfused(&q, &k, &v, scale, causal).data());
+        for threads in [1usize, 2, 8] {
+            pool::set_thread_override(Some(threads));
+            let mut arena = TensorArena::new();
+            let mut out = Tensor::zeros(&[s_q, d]);
+            attention_fused_into(&q, &k, &v, scale, causal, &mut arena, &mut out);
+            prop_assert_eq!(
+                &bits_of(out.data()),
+                &reference,
+                "fused diverged from unfused at threads={}", threads
+            );
+            let unfused = attention_unfused(&q, &k, &v, scale, causal);
+            prop_assert_eq!(
+                &bits_of(unfused.data()),
+                &reference,
+                "unfused not thread-stable at threads={}", threads
+            );
+        }
+        pool::set_thread_override(None);
+    }
+}

@@ -120,6 +120,17 @@ counters! {
     /// Heap-growth events on the managed serving hot path (arena slab
     /// growth, engine scratch growth) — zero once the fleet is warm.
     HotPathAllocs => "hot_path_allocs",
+    /// KV-cache elements written (K rows + Vᵀ columns programmed into
+    /// attention weight banks) during transformer decode.
+    KvCacheWrites => "kv_cache_writes",
+    /// KV-cache elements read back through attention MVMs during decode.
+    KvCacheReads => "kv_cache_reads",
+    /// Energy billed to KV-cache programming traffic, femtojoules.
+    KvCacheFj => "kv_cache_fj",
+    /// Softmax rows executed on the digital LDSU path.
+    LdsuSoftmaxRows => "ldsu_softmax_rows",
+    /// LayerNorm rows executed on the digital LDSU path.
+    LdsuLayerNormRows => "ldsu_layer_norm_rows",
 }
 
 /// Convert a picojoule quantity to integer femtojoules, saturating and

@@ -25,6 +25,8 @@
 use crate::{Request, ServeError};
 use trident_arch::engine::{EngineOptions, PhotonicMlp};
 use trident_arch::faults::{FaultPlan, FaultReport};
+use trident_arch::transformer::{PhotonicTransformer, TransformerConfig};
+use trident_arch::ArchError;
 use trident_obs as obs;
 use trident_photonics::units::Hours;
 
@@ -90,10 +92,101 @@ pub struct Completion {
     pub replica: usize,
 }
 
+/// The engine a replica owns: the paper's dense MLP engine, or a
+/// [`PhotonicTransformer`] serving the ViT classify path. The enum
+/// forwards exactly the call set the dispatch path uses, so the event
+/// loop, batcher, and report never care which fabric is underneath.
+pub enum ReplicaEngine {
+    /// Dense photonic MLP (the original serving target). Boxed so the
+    /// enum stays pointer-sized regardless of engine footprint.
+    Mlp(Box<PhotonicMlp>),
+    /// ViT-style photonic transformer (classify forward only).
+    Vit {
+        /// The transformer engine.
+        tx: Box<PhotonicTransformer>,
+        /// Pseudo layer widths (`[input, d_model, out_dim]`) so fleet
+        /// scratch sizing keeps working unchanged.
+        dims: Vec<usize>,
+    },
+}
+
+impl ReplicaEngine {
+    fn try_forward_batch(
+        &mut self,
+        batch: &[impl AsRef<[f64]>],
+        tail: bool,
+    ) -> Result<&[Vec<f64>], ArchError> {
+        match self {
+            ReplicaEngine::Mlp(e) => e.try_forward_batch(batch, tail),
+            ReplicaEngine::Vit { tx, .. } => tx.try_forward_batch(batch),
+        }
+    }
+
+    fn total_elapsed_ns(&self) -> f64 {
+        match self {
+            ReplicaEngine::Mlp(e) => e.total_elapsed().value(),
+            ReplicaEngine::Vit { tx, .. } => tx.total_elapsed().value(),
+        }
+    }
+
+    fn total_energy_pj(&self) -> f64 {
+        match self {
+            ReplicaEngine::Mlp(e) => e.total_energy().value(),
+            ReplicaEngine::Vit { tx, .. } => tx.total_energy().value(),
+        }
+    }
+
+    fn reserve_forward_scratch(&mut self, batch: usize) {
+        match self {
+            ReplicaEngine::Mlp(e) => e.reserve_forward_scratch(batch),
+            // The transformer forward stages its own per-token buffers;
+            // there is no pre-sizable scratch, and correspondingly no
+            // zero-alloc steady-state claim for ViT fleets (the MLP
+            // engine's `hot_path_allocs` contract stays MLP-only).
+            ReplicaEngine::Vit { .. } => {}
+        }
+    }
+
+    fn hot_path_allocs(&self) -> u64 {
+        match self {
+            ReplicaEngine::Mlp(e) => e.hot_path_allocs(),
+            ReplicaEngine::Vit { .. } => 0,
+        }
+    }
+
+    fn dims(&self) -> &[usize] {
+        match self {
+            ReplicaEngine::Mlp(e) => e.dims(),
+            ReplicaEngine::Vit { dims, .. } => dims,
+        }
+    }
+
+    fn masked_rings(&self) -> u64 {
+        match self {
+            ReplicaEngine::Mlp(e) => e.masked_rings() as u64,
+            ReplicaEngine::Vit { .. } => 0,
+        }
+    }
+
+    fn remapped_rings(&self) -> u64 {
+        match self {
+            ReplicaEngine::Mlp(e) => e.remapped_rings(),
+            ReplicaEngine::Vit { .. } => 0,
+        }
+    }
+
+    fn write_failures(&self) -> u64 {
+        match self {
+            ReplicaEngine::Mlp(e) => e.write_failures(),
+            ReplicaEngine::Vit { .. } => 0,
+        }
+    }
+}
+
 /// A replica (or pipeline stage): one owned engine plus its serving
 /// ledgers.
 struct Replica {
-    engine: PhotonicMlp,
+    engine: ReplicaEngine,
     /// Pipeline only: apply the identity tail on the last layer?
     tail: bool,
     /// Virtual time this replica is busy until.
@@ -222,8 +315,62 @@ impl Fleet {
             }
             let energy_baseline_pj = engine.total_energy().value();
             replicas.push(Replica {
-                engine,
+                engine: ReplicaEngine::Mlp(Box::new(engine)),
                 tail,
+                free_at_ns: 0,
+                energy_baseline_pj,
+                requests: 0,
+                batches: 0,
+                correct: 0,
+                busy_ns: 0,
+            });
+        }
+        Ok(Self {
+            sharding,
+            replicas,
+            est_ns_per_item: est_ns_per_item_init.max(1),
+            pred_scratch: Vec::new(),
+            stage_io: Vec::new(),
+            local_allocs: 0,
+        })
+    }
+
+    /// Build a ViT fleet: one [`PhotonicTransformer`] per profile, all
+    /// programmed from the same `vit` configuration (same weights on
+    /// every chip, like a deployed model). Replica-parallel only — a
+    /// transformer block is not layer-shardable the way a dense stack
+    /// is — and the MLP-only deployment knobs (laser droop, pre-age,
+    /// receiver noise) are rejected with a typed error rather than
+    /// silently ignored.
+    pub fn try_build_vit(
+        vit: &TransformerConfig,
+        profiles: &[ReplicaProfile],
+        sharding: Sharding,
+        est_ns_per_item_init: u64,
+    ) -> Result<Self, ServeError> {
+        if profiles.is_empty() {
+            return Err(ServeError::NoReplicas);
+        }
+        if sharding != Sharding::ReplicaParallel {
+            return Err(ServeError::VitUnsupported { what: "layer-pipeline sharding" });
+        }
+        let mut replicas = Vec::with_capacity(profiles.len());
+        for profile in profiles {
+            if profile.laser_droop > 0.0 {
+                return Err(ServeError::VitUnsupported { what: "laser droop" });
+            }
+            if profile.pre_age_hours > 0.0 {
+                return Err(ServeError::VitUnsupported { what: "pre-aging" });
+            }
+            if profile.noise_seed.is_some() {
+                return Err(ServeError::VitUnsupported { what: "receiver noise" });
+            }
+            let tx = Box::new(PhotonicTransformer::try_new(vit.clone())?);
+            let dims = vec![vit.input_width(), vit.d_model, vit.out_dim];
+            let energy_baseline_pj = tx.total_energy().value();
+            replicas.push(Replica {
+                engine: ReplicaEngine::Vit { tx, dims },
+                tail: true,
                 free_at_ns: 0,
                 energy_baseline_pj,
                 requests: 0,
@@ -363,11 +510,11 @@ impl Fleet {
                 preds.clear();
                 let replica = &mut self.replicas[pick];
                 let start = now_ns.max(replica.free_at_ns);
-                let elapsed_before = replica.engine.total_elapsed().value();
+                let elapsed_before = replica.engine.total_elapsed_ns();
                 let outputs = replica.engine.try_forward_batch(batch, replica.tail)?;
                 preds.extend(outputs.iter().map(|o| argmax(o)));
                 let service = obs::counter::ns_from_ns_f64(
-                    replica.engine.total_elapsed().value() - elapsed_before,
+                    replica.engine.total_elapsed_ns() - elapsed_before,
                 )
                 .max(1);
                 let done = start.saturating_add(service);
@@ -396,7 +543,7 @@ impl Fleet {
                 for s in 0..self.replicas.len() {
                     let stage = &mut self.replicas[s];
                     let start = t.max(stage.free_at_ns);
-                    let elapsed_before = stage.engine.total_elapsed().value();
+                    let elapsed_before = stage.engine.total_elapsed_ns();
                     let outputs = if s == 0 {
                         stage.engine.try_forward_batch(batch, stage.tail)?
                     } else {
@@ -412,7 +559,7 @@ impl Fleet {
                         }
                     }
                     let service = obs::counter::ns_from_ns_f64(
-                        stage.engine.total_elapsed().value() - elapsed_before,
+                        stage.engine.total_elapsed_ns() - elapsed_before,
                     )
                     .max(1);
                     t = start.saturating_add(service);
@@ -469,7 +616,12 @@ impl Fleet {
             .replicas
             .get_mut(replica)
             .ok_or(ServeError::ReplicaOutOfRange { replica, replicas })?;
-        Ok(target.engine.inject_faults(plan))
+        match &mut target.engine {
+            ReplicaEngine::Mlp(e) => Ok(e.inject_faults(plan)),
+            ReplicaEngine::Vit { .. } => {
+                Err(ServeError::VitUnsupported { what: "fault injection" })
+            }
+        }
     }
 
     /// End-of-run ledgers, one per replica, in id order.
@@ -483,8 +635,8 @@ impl Fleet {
                 batches: r.batches,
                 correct: r.correct,
                 busy_ns: r.busy_ns,
-                energy_pj: r.engine.total_energy().value() - r.energy_baseline_pj,
-                masked_rings: r.engine.masked_rings() as u64,
+                energy_pj: r.engine.total_energy_pj() - r.energy_baseline_pj,
+                masked_rings: r.engine.masked_rings(),
                 remapped_rings: r.engine.remapped_rings(),
                 write_failures: r.engine.write_failures(),
             })

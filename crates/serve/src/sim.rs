@@ -94,22 +94,47 @@ enum EventKind {
 /// Run one serving scenario end to end. The returned report — and its
 /// JSON export — is a pure function of `cfg`.
 pub fn run(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
-    let _span = obs::span("serve.run");
-    let arrivals = traffic::generate_arrivals(cfg.arrivals, cfg.seed, cfg.requests);
-    let requests = frontend::prepare_requests(
-        &arrivals,
-        &cfg.dataset,
-        cfg.dims.first().copied().unwrap_or(0),
-        cfg.seed,
-        cfg.slo_ns,
-    )?;
-    let mut fleet = Fleet::try_build(
+    let fleet = Fleet::try_build(
         &cfg.dims,
         cfg.engine,
         &cfg.replicas,
         cfg.pretrained.as_deref(),
         cfg.sharding,
         cfg.est_ns_per_item_init,
+    )?;
+    run_on_fleet(cfg, fleet, cfg.dims.first().copied().unwrap_or(0))
+}
+
+/// Run one serving scenario over a ViT fleet: every replica owns a
+/// [`trident_arch::transformer::PhotonicTransformer`] built from `vit`,
+/// and requests carry flat `max_seq × d_model` token sequences
+/// (`cfg.dims`, `cfg.engine`, and `cfg.pretrained` are ignored — the
+/// transformer's weights come from its own seeded construction).
+pub fn run_vit(
+    cfg: &ServeConfig,
+    vit: &trident_arch::transformer::TransformerConfig,
+) -> Result<ServeReport, ServeError> {
+    let fleet =
+        Fleet::try_build_vit(vit, &cfg.replicas, cfg.sharding, cfg.est_ns_per_item_init)?;
+    run_on_fleet(cfg, fleet, vit.input_width())
+}
+
+/// The shared event loop: drives arrivals, batching, dispatch, and
+/// fault events over an already-built fleet. `input_width` is the flat
+/// request width the front-end validates dataset samples against.
+fn run_on_fleet(
+    cfg: &ServeConfig,
+    mut fleet: Fleet,
+    input_width: usize,
+) -> Result<ServeReport, ServeError> {
+    let _span = obs::span("serve.run");
+    let arrivals = traffic::generate_arrivals(cfg.arrivals, cfg.seed, cfg.requests);
+    let requests = frontend::prepare_requests(
+        &arrivals,
+        &cfg.dataset,
+        input_width,
+        cfg.seed,
+        cfg.slo_ns,
     )?;
     // Size every replica's forward scratch for the largest batch the
     // batcher can close, so steady-state dispatch allocates nothing.
@@ -390,6 +415,40 @@ mod tests {
             bad
         })
         .is_err());
+    }
+
+    #[test]
+    fn vit_fleet_serves_end_to_end_and_is_reproducible() {
+        use trident_arch::transformer::TransformerConfig;
+        let vit = TransformerConfig::tiny_vit();
+        let width = vit.input_width();
+        let dataset: Vec<(Vec<f64>, usize)> = (0..6)
+            .map(|c| (vec![f64::from(c) / 6.0 - 0.4; width], usize::try_from(c).unwrap() % 4))
+            .collect();
+        let mut cfg = tiny_config();
+        cfg.scenario = "vit".to_string();
+        cfg.dataset = dataset;
+        cfg.requests = 24;
+        let a = run_vit(&cfg, &vit).unwrap();
+        let b = run_vit(&cfg, &vit).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "ViT serving must be reproducible");
+        assert_eq!(a.served + a.shed, a.offered);
+        assert!(a.served > 0, "the tiny ViT fleet must serve something");
+        assert!(a.replicas.iter().any(|r| r.energy_pj > 0.0), "serving must charge energy");
+        // MLP-only deployment knobs are typed errors, not silent no-ops.
+        let mut droopy = cfg.clone();
+        droopy.replicas[0].laser_droop = 0.1;
+        assert!(matches!(
+            run_vit(&droopy, &vit),
+            Err(ServeError::VitUnsupported { what: "laser droop" })
+        ));
+        let mut piped = cfg.clone();
+        piped.sharding = Sharding::LayerPipeline;
+        piped.replicas.truncate(2);
+        assert!(matches!(
+            run_vit(&piped, &vit),
+            Err(ServeError::VitUnsupported { what: "layer-pipeline sharding" })
+        ));
     }
 
     #[test]

@@ -77,6 +77,23 @@ pub enum LayerKind {
         /// Channels appended by the side branches.
         extra_c: usize,
     },
+    /// Multi-head self-attention over a token sequence encoded as
+    /// `c = d_model`, `h = seq`, `w = 1`. The QKV/output projections are
+    /// separate 1×1 [`LayerKind::Conv2d`] layers; this kind covers only
+    /// the attention core (`Q·Kᵀ` scores and `probs·V` context), which
+    /// streams through the photonic array with *dynamic* operands — the
+    /// K/V writes are KV-cache traffic, not trainable parameters.
+    SelfAttention {
+        /// Attention heads (`d_model` must be divisible by this).
+        heads: usize,
+        /// Causal (decoder) masking. Costs assume full-array streaming —
+        /// the mask is applied digitally, not by skipping MVM work.
+        causal: bool,
+    },
+    /// Row-wise LayerNorm over tokens (`c = d_model` features per token).
+    /// Executes on the digital LDSU path: zero photonic MACs, `2·c`
+    /// affine parameters (gain and shift).
+    LayerNorm,
 }
 
 /// One layer instance: its kind plus the input shape it sees.
@@ -116,6 +133,11 @@ impl LayerSpec {
             LayerKind::GlobalAvgPool => TensorShape::new(i.c, 1, 1),
             LayerKind::Add => i,
             LayerKind::Concat { extra_c } => TensorShape::new(i.c + extra_c, i.h, i.w),
+            LayerKind::SelfAttention { heads, .. } => {
+                assert!(heads > 0 && i.c.is_multiple_of(heads), "{}: d_model {} not divisible by heads {heads}", self.name, i.c);
+                i
+            }
+            LayerKind::LayerNorm => i,
         }
     }
 
@@ -129,7 +151,10 @@ impl LayerSpec {
                 (out_c as u64) * (o.h as u64) * (o.w as u64) * per_output as u64
             }
             LayerKind::Dense { out_features } => (out_features as u64) * (i.volume() as u64),
-            // Pooling/merge layers do comparisons/adds, not MACs.
+            // Scores (seq·seq·d_head per head) + context (seq·seq·d_head
+            // per head) = 2 · d_model · seq² regardless of head count.
+            LayerKind::SelfAttention { .. } => 2 * (i.c as u64) * (i.h as u64) * (i.h as u64),
+            // Pooling/merge/normalisation layers do adds, not weight MACs.
             _ => 0,
         }
     }
@@ -143,6 +168,10 @@ impl LayerSpec {
                 (out_c as u64) * ((i.c / groups) as u64) * (kernel as u64) * (kernel as u64)
             }
             LayerKind::Dense { out_features } => (out_features as u64) * (i.volume() as u64),
+            // Attention weights are the *activations* of the same pass
+            // (K/V written at run time = cache traffic, not parameters).
+            LayerKind::SelfAttention { .. } => 0,
+            LayerKind::LayerNorm => 2 * i.c as u64,
             _ => 0,
         }
     }
@@ -154,7 +183,10 @@ impl LayerSpec {
 
     /// True for layers that perform MACs on a weight bank.
     pub fn is_mac_layer(&self) -> bool {
-        matches!(self.kind, LayerKind::Conv2d { .. } | LayerKind::Dense { .. })
+        matches!(
+            self.kind,
+            LayerKind::Conv2d { .. } | LayerKind::Dense { .. } | LayerKind::SelfAttention { .. }
+        )
     }
 
     /// The GEMM view of a MAC layer: `(rows, cols, vectors, groups)` where
@@ -180,6 +212,17 @@ impl LayerSpec {
                 cols: i.volume(),
                 vectors: 1,
                 groups: 1,
+            }),
+            // Per head: the score GEMM is seq×d_head weights (K) streamed
+            // by seq queries, and the context GEMM is the mirror-image
+            // d_head×seq (Vᵀ) streamed by seq probability rows — two
+            // same-cost tile groups per head, hence `2·heads` groups of a
+            // seq×d_head tile walked by seq vectors.
+            LayerKind::SelfAttention { heads, .. } => Some(GemmView {
+                rows: i.h,
+                cols: i.c / heads,
+                vectors: i.h,
+                groups: 2 * heads,
             }),
             _ => None,
         }
@@ -310,6 +353,50 @@ mod tests {
         let g = d.gemm_view().unwrap();
         assert_eq!(g.vectors, 1);
         assert_eq!(g.macs(), d.macs());
+    }
+
+    #[test]
+    fn self_attention_costs_and_gemm_view() {
+        // ViT-tiny shape: d_model 192, 196 tokens, 3 heads.
+        let a = LayerSpec {
+            name: "attn".into(),
+            kind: LayerKind::SelfAttention { heads: 3, causal: false },
+            input: TensorShape::new(192, 196, 1),
+        };
+        assert_eq!(a.output(), a.input);
+        assert_eq!(a.macs(), 2 * 192 * 196 * 196);
+        assert_eq!(a.params(), 0, "K/V writes are cache traffic, not parameters");
+        assert!(a.is_mac_layer());
+        let g = a.gemm_view().unwrap();
+        assert_eq!((g.rows, g.cols, g.vectors, g.groups), (196, 64, 196, 6));
+        assert_eq!(g.macs(), a.macs());
+    }
+
+    #[test]
+    fn causal_attention_same_streamed_cost() {
+        // The mask is applied digitally; the array streams the full
+        // score rectangle either way.
+        let mk = |causal| LayerSpec {
+            name: "attn".into(),
+            kind: LayerKind::SelfAttention { heads: 4, causal },
+            input: TensorShape::new(256, 64, 1),
+        };
+        assert_eq!(mk(true).macs(), mk(false).macs());
+        assert_eq!(mk(true).gemm_view(), mk(false).gemm_view());
+    }
+
+    #[test]
+    fn layer_norm_is_digital_only() {
+        let ln = LayerSpec {
+            name: "ln".into(),
+            kind: LayerKind::LayerNorm,
+            input: TensorShape::new(256, 16, 1),
+        };
+        assert_eq!(ln.output(), ln.input);
+        assert_eq!(ln.macs(), 0);
+        assert_eq!(ln.params(), 512);
+        assert!(!ln.is_mac_layer());
+        assert!(ln.gemm_view().is_none());
     }
 
     #[test]

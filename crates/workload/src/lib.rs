@@ -16,6 +16,8 @@
 //!   dimensions of 224×224×3").
 //! * [`dataflow`] — weight-stationary tiling of each layer onto a J×N
 //!   weight bank across P processing elements.
+//! * [`kv`] — KV-cache read/write traffic closed forms for the
+//!   decoder-style transformer workloads (DESIGN.md §16).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -23,14 +25,17 @@
 
 pub mod dataflow;
 pub mod error;
+pub mod kv;
 pub mod layer;
 pub mod model;
 pub mod zoo;
 
 pub use dataflow::{DataflowModel, LayerMapping, ModelMapping};
 pub use error::WorkloadError;
+pub use kv::KvCachePlan;
 pub use layer::{LayerKind, LayerSpec, TensorShape};
 pub use model::ModelSpec;
 pub use zoo::{
-    alexnet, by_name, googlenet, lenet5, mobilenet_v2, paper_models, resnet50, try_by_name, vgg16,
+    alexnet, by_name, googlenet, gpt_decoder, lenet5, mobilenet_v2, paper_models, resnet50,
+    transformer_models, try_by_name, vgg16, vit_tiny,
 };

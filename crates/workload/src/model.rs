@@ -190,6 +190,17 @@ impl ModelBuilder {
         self.push(name, LayerKind::MaxPool { size, stride, padding: 0 })
     }
 
+    /// Multi-head self-attention helper (token sequence as `c = d_model`,
+    /// `h = seq`, `w = 1`; shape-preserving).
+    pub fn self_attention(&mut self, name: impl Into<String>, heads: usize, causal: bool) -> &mut Self {
+        self.push(name, LayerKind::SelfAttention { heads, causal })
+    }
+
+    /// Row-wise LayerNorm helper (shape-preserving, digital LDSU path).
+    pub fn layer_norm(&mut self, name: impl Into<String>) -> &mut Self {
+        self.push(name, LayerKind::LayerNorm)
+    }
+
     /// Dense helper.
     pub fn dense(&mut self, name: impl Into<String>, out_features: usize) -> &mut Self {
         // Dense layers consume the flattened activation.

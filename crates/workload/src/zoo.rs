@@ -192,9 +192,75 @@ pub fn lenet5() -> ModelSpec {
     b.build()
 }
 
+/// ViT-Tiny (Touvron 2021, DeiT-Ti): 16×16 patch embed on 224×224 →
+/// 196 tokens at `d_model = 192`, 12 pre-norm encoder blocks with 3
+/// heads and a 4× MLP, mean-pool head to 1000 classes.
+///
+/// Token sequences ride the CNN shape convention as `c = d_model`,
+/// `h = seq`, `w = 1`, so every projection is a 1×1 convolution whose
+/// `gemm_view` streams `seq` vectors — the photonic mapping works
+/// unchanged. The class token is folded into mean pooling (196 tokens,
+/// not 197), which keeps the counts within ~1% of the published 1.26
+/// GMACs / 5.7M parameters.
+pub fn vit_tiny() -> ModelSpec {
+    let (d_model, heads, depth, d_ff) = (192, 3, 12, 768);
+    let mut b = ModelBuilder::new("ViT-Tiny", INPUT_224);
+    b.conv("patch_embed", d_model, 16, 16, 0);
+    // 14×14 patch grid → a 196-token sequence.
+    let grid = b.current_shape();
+    b.set_shape(TensorShape::new(d_model, grid.h * grid.w, 1));
+    for blk in 0..depth {
+        transformer_block(&mut b, &format!("blk{blk}"), heads, false, d_ff);
+    }
+    b.layer_norm("ln_final")
+        .push("pool", LayerKind::GlobalAvgPool)
+        .dense("head", 1000);
+    b.build_branched()
+}
+
+/// A small GPT-style decoder: 6 pre-norm causal blocks at
+/// `d_model = 256`, 4 heads, 4× MLP, 256-token context, 4096-entry
+/// vocabulary head. Sized for the edge-serving regime (≈1.7 GMACs per
+/// full-context forward) rather than any published checkpoint, so the
+/// tests pin its counts by closed form instead of literature values.
+/// Token/position embedding lookups are table reads, not MACs, and are
+/// omitted — the same convention the CNN zoo uses for input handling.
+pub fn gpt_decoder() -> ModelSpec {
+    let (d_model, heads, depth, d_ff, seq, vocab) = (256, 4, 6, 1024, 256, 4096);
+    let mut b = ModelBuilder::new("GPT-Decoder", TensorShape::new(d_model, seq, 1));
+    for blk in 0..depth {
+        transformer_block(&mut b, &format!("blk{blk}"), heads, true, d_ff);
+    }
+    // Per-token LM head = another 1×1 projection over the sequence.
+    b.layer_norm("ln_final").conv("lm_head", vocab, 1, 1, 0);
+    b.build()
+}
+
+/// One pre-norm transformer block: LN → QKV projections → attention
+/// core → output projection → residual → LN → FFN → residual.
+fn transformer_block(b: &mut ModelBuilder, name: &str, heads: usize, causal: bool, d_ff: usize) {
+    let d_model = b.current_shape().c;
+    b.layer_norm(format!("{name}_ln1"))
+        .conv(format!("{name}_q"), d_model, 1, 1, 0)
+        .conv(format!("{name}_k"), d_model, 1, 1, 0)
+        .conv(format!("{name}_v"), d_model, 1, 1, 0)
+        .self_attention(format!("{name}_attn"), heads, causal)
+        .conv(format!("{name}_proj"), d_model, 1, 1, 0)
+        .push(format!("{name}_res1"), LayerKind::Add)
+        .layer_norm(format!("{name}_ln2"))
+        .conv(format!("{name}_ffn1"), d_ff, 1, 1, 0)
+        .conv(format!("{name}_ffn2"), d_model, 1, 1, 0)
+        .push(format!("{name}_res2"), LayerKind::Add);
+}
+
+/// The two transformer workloads, in Table IV/V row order.
+pub fn transformer_models() -> Vec<ModelSpec> {
+    vec![vit_tiny(), gpt_decoder()]
+}
+
 /// Canonical lookup keys [`try_by_name`] accepts (aliases not listed).
 pub const KNOWN_MODELS: &[&str] =
-    &["alexnet", "vgg16", "googlenet", "mobilenetv2", "resnet50", "lenet5"];
+    &["alexnet", "vgg16", "googlenet", "mobilenetv2", "resnet50", "lenet5", "vittiny", "gptdecoder"];
 
 /// Look a model up by a user-facing name (case/punctuation-insensitive).
 pub fn by_name(name: &str) -> Option<ModelSpec> {
@@ -213,6 +279,8 @@ pub fn try_by_name(name: &str) -> Result<ModelSpec, WorkloadError> {
         "mobilenetv2" | "mobilenet" => Ok(mobilenet_v2()),
         "resnet50" => Ok(resnet50()),
         "lenet5" | "lenet" => Ok(lenet5()),
+        "vittiny" | "vit" | "deitti" => Ok(vit_tiny()),
+        "gptdecoder" | "gpt" => Ok(gpt_decoder()),
         _ => Err(WorkloadError::UnknownModel { name: name.to_string() }),
     }
 }
@@ -322,6 +390,55 @@ mod tests {
         // c5 collapses 16×5×5 to 120×1×1.
         let c5 = m.layers.iter().find(|l| l.name == "c5").unwrap();
         assert_eq!(c5.output(), TensorShape::new(120, 1, 1));
+    }
+
+    #[test]
+    fn vit_tiny_counts_match_publication() {
+        let m = vit_tiny();
+        // DeiT-Ti: ~5.7M parameters, ~1.26 GMACs at 224².
+        within(m.total_params(), 5_700_000, 0.02, "ViT-Tiny params");
+        within(m.total_macs(), 1_260_000_000, 0.02, "ViT-Tiny MACs");
+        // Patch embed + 12 × (q,k,v,attn,proj,ffn1,ffn2) + head = 86.
+        assert_eq!(m.mac_layer_count(), 86);
+        let attn = m.layers.iter().find(|l| l.name == "blk0_attn").unwrap();
+        assert_eq!(attn.input, TensorShape::new(192, 196, 1));
+        assert_eq!(attn.macs(), 2 * 192 * 196 * 196);
+    }
+
+    #[test]
+    fn gpt_decoder_counts_match_closed_form() {
+        let m = gpt_decoder();
+        let (d, ff, seq, vocab, depth) = (256u64, 1024u64, 256u64, 4096u64, 6u64);
+        // Per block: 4 projections + 2 FFN GEMMs + the attention core.
+        let block_macs = 4 * d * d * seq + 2 * d * ff * seq + 2 * d * seq * seq;
+        let block_params = 4 * d * d + 2 * d * ff + 2 * 2 * d;
+        assert_eq!(m.total_macs(), depth * block_macs + vocab * d * seq);
+        assert_eq!(m.total_params(), depth * block_params + 2 * d + vocab * d);
+        // Every attention layer is causal.
+        for l in &m.layers {
+            if let LayerKind::SelfAttention { causal, heads } = l.kind {
+                assert!(causal);
+                assert_eq!(heads, 4);
+            }
+        }
+    }
+
+    #[test]
+    fn transformer_models_order_and_names() {
+        let names: Vec<_> =
+            transformer_models().iter().map(|m| m.name.clone()).collect();
+        assert_eq!(names, vec!["ViT-Tiny", "GPT-Decoder"]);
+        for m in transformer_models() {
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn transformer_zoo_keys_resolve() {
+        assert_eq!(by_name("ViT-Tiny").unwrap().name, "ViT-Tiny");
+        assert_eq!(by_name("vit").unwrap().name, "ViT-Tiny");
+        assert_eq!(by_name("gpt-decoder").unwrap().name, "GPT-Decoder");
+        assert_eq!(by_name("GPT").unwrap().name, "GPT-Decoder");
     }
 
     #[test]

@@ -57,4 +57,18 @@ fn artifacts_identical_at_1_and_8_threads() {
     // points × chips) with trial-ordered accuracy folds.
     let variation = |threads| at_threads(threads, || ex::ablations::variation::render(2, 2));
     assert_eq!(variation(1), variation(8), "variation ablation drifted across thread counts");
+
+    // The transformer sections: analytical perf rows plus a full tiny-GPT
+    // decode and tiny-ViT classify on the functional simulator — chained
+    // MVMs, KV banding, LDSU softmax/LayerNorm — all on seeded state.
+    for render in [ex::transformer::render_perf, ex::transformer::render_kv] {
+        let reference = at_threads(1, render);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                reference,
+                at_threads(threads, render),
+                "transformer section drifted at {threads} threads"
+            );
+        }
+    }
 }

@@ -52,6 +52,8 @@ fn artifacts_identical_with_tracing_on_and_off() {
         ("ablation.variation", || ex::ablations::variation::render(3, 2)),
         ("ablation.drift", || ex::ablations::drift::render(2, 1)),
         ("ablation.serve", || ex::ablations::serve::render(2, 60)),
+        ("transformer.perf", ex::transformer::render_perf),
+        ("transformer.kv", ex::transformer::render_kv),
     ];
     for (name, render) in &sections {
         assert_eq!(
@@ -104,6 +106,22 @@ fn artifacts_identical_with_tracing_on_and_off() {
     assert!(
         snap.counters.get(obs::Counter::ServeBatches) > 0,
         "tracing recorded no served batches"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::KvCacheWrites) > 0,
+        "tracing recorded no KV-cache writes"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::KvCacheReads) > 0,
+        "tracing recorded no KV-cache reads"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::LdsuSoftmaxRows) > 0,
+        "tracing recorded no LDSU softmax rows"
+    );
+    assert!(
+        snap.counters.get(obs::Counter::LdsuLayerNormRows) > 0,
+        "tracing recorded no LDSU LayerNorm rows"
     );
     assert!(!snap.events.is_empty(), "tracing recorded no spans");
     obs::reset();

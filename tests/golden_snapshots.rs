@@ -221,6 +221,43 @@ fn ablation_drift_json() -> String {
     out
 }
 
+fn transformer_perf_json() -> String {
+    let mut out = String::from("{\n  \"artifact\": \"transformer_perf\",\n  \"rows\": [\n");
+    let rows = ex::transformer::run_perf();
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"model\": \"{}\", \"gmacs\": {:?}, \"mparams\": {:?}, \
+                 \"latency_ms\": {:?}, \"energy_mj\": {:?}, \"inf_per_s\": {:?}}}",
+                r.model, r.gmacs, r.mparams, r.latency_ms, r.energy_mj, r.inf_per_s
+            )
+        })
+        .collect();
+    out.push_str(&body.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn transformer_kv_json() -> String {
+    let r = ex::transformer::run_kv();
+    format!(
+        "{{\n  \"artifact\": \"transformer_kv\",\n  \"plan\": {{\"d_model\": {}, \
+         \"layers\": {}, \"tokens\": {}}},\n  \"measured_writes\": {},\n  \
+         \"measured_reads\": {},\n  \"expected_writes\": {},\n  \"expected_reads\": {},\n  \
+         \"vit_max_err\": {:?},\n  \"gpt_max_err\": {:?}\n}}\n",
+        r.plan.d_model,
+        r.plan.layers,
+        r.plan.tokens,
+        r.measured_writes,
+        r.measured_reads,
+        r.expected_writes,
+        r.expected_reads,
+        r.vit_max_err,
+        r.gpt_max_err
+    )
+}
+
 #[test]
 fn golden_table4() {
     check_golden("table4.json", &table4_json());
@@ -244,6 +281,16 @@ fn golden_dataflow_map() {
 #[test]
 fn golden_ablation_drift() {
     check_golden("ablation_drift.json", &ablation_drift_json());
+}
+
+#[test]
+fn golden_transformer_perf() {
+    check_golden("transformer_perf.json", &transformer_perf_json());
+}
+
+#[test]
+fn golden_transformer_kv() {
+    check_golden("transformer_kv.json", &transformer_kv_json());
 }
 
 /// The statistical device layer must default to OFF everywhere the paper

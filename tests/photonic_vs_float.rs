@@ -5,8 +5,10 @@
 //! the float reference (trident-nn), layer by layer and end to end.
 
 use trident::arch::engine::PhotonicMlp;
+use trident::arch::transformer::{PhotonicTransformer, TransformerConfig};
 use trident::nn::layers::{Activation, ActivationLayer, Dense, Layer};
 use trident::nn::tensor::Tensor;
+use trident::pcm::stat::StatParams;
 
 /// Build an nn-crate mirror of the photonic engine's weights.
 fn mirror_network(engine: &PhotonicMlp) -> Vec<(Dense, Option<ActivationLayer>)> {
@@ -80,6 +82,110 @@ fn tiled_wide_layer_matches_float_reference() {
     let float = float_forward(&mut mirror, &x);
     for (r, (&p, &f)) in photonic.iter().zip(&float).enumerate() {
         assert!((p - f).abs() < 0.15, "output {r}: photonic {p} vs float {f}");
+    }
+}
+
+/// ENOB-derived logit tolerance for the transformer differential tests.
+///
+/// `fidelity::measure` pins the ideal 16-wide bank at ≥ 7 effective bits
+/// over a ±TILE dot-product full scale, so one tile MVM carries at most
+/// `2·TILE·2⁻⁷ = 0.25` of quantization + crosstalk error. Softmax and
+/// LayerNorm renormalize between every chained MVM, so the end-to-end
+/// logit error stays within one per-MVM quantum rather than compounding.
+const ENOB_LOGIT_TOL: f64 = 2.0 * 16.0 * 0.007_812_5; // 2·TILE·2⁻⁷
+
+/// Deterministic token stream in [-1, 1], width `n`, seeded.
+fn token_stream(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2003) as f64 - 1001.0) / 1001.0
+        })
+        .collect()
+}
+
+/// Statistical layer with every noise and drift knob at zero — the
+/// passthrough configuration mirrored from
+/// `fault_invariants::zeroed_stat_layer_is_exact_passthrough`.
+fn zeroed_stat() -> StatParams {
+    StatParams {
+        prog_sigma_min_weight: 0.0,
+        prog_sigma_max_weight: 0.0,
+        read_sigma_weight: 0.0,
+        drift_nu_floor: 0.0,
+        drift_nu_spread: 0.0,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn vit_tiny_photonic_matches_digital_reference_within_enob() {
+    let cfg = TransformerConfig::tiny_vit();
+    let x = token_stream(cfg.input_width(), 0x51f7);
+    let mut tx = PhotonicTransformer::try_new(cfg).unwrap();
+    let digital = tx.digital_forward_classify(&x).unwrap();
+    let photonic = tx.try_forward_classify(&x).unwrap();
+    assert_eq!(photonic.len(), digital.len());
+    for (r, (&p, &d)) in photonic.iter().zip(&digital).enumerate() {
+        assert!(
+            (p - d).abs() < ENOB_LOGIT_TOL,
+            "ViT logit {r}: photonic {p} vs digital {d} (tol {ENOB_LOGIT_TOL})"
+        );
+    }
+}
+
+#[test]
+fn gpt_decoder_photonic_matches_digital_reference_within_enob() {
+    let cfg = TransformerConfig::tiny_gpt();
+    let x = token_stream(cfg.input_width(), 0x6bb1);
+    let mut tx = PhotonicTransformer::try_new(cfg).unwrap();
+    let digital = tx.digital_forward_causal(&x).unwrap();
+    let photonic = tx.try_forward_causal(&x).unwrap();
+    assert_eq!(photonic.len(), digital.len());
+    for (t, (row_p, row_d)) in photonic.iter().zip(&digital).enumerate() {
+        for (r, (&p, &d)) in row_p.iter().zip(row_d).enumerate() {
+            assert!(
+                (p - d).abs() < ENOB_LOGIT_TOL,
+                "GPT pos {t} logit {r}: photonic {p} vs digital {d} (tol {ENOB_LOGIT_TOL})"
+            );
+        }
+    }
+}
+
+#[test]
+fn zeroed_stat_layer_is_bitwise_passthrough_for_transformers() {
+    // Enabling the statistical layer with all sigmas and drift exponents
+    // at zero (plus an age-zero calibration pass) must leave both model
+    // families bitwise identical to the deterministic build.
+    for (cfg, causal) in [(TransformerConfig::tiny_vit(), false), (TransformerConfig::tiny_gpt(), true)] {
+        let x = token_stream(cfg.input_width(), 0xa110);
+        let mut det = PhotonicTransformer::try_new(cfg.clone()).unwrap();
+        let mut stat_cfg = cfg;
+        stat_cfg.stat = Some(zeroed_stat());
+        let mut stat = PhotonicTransformer::try_new(stat_cfg).unwrap();
+        stat.calibrate_compensation();
+        if causal {
+            let yd = det.try_forward_causal(&x).unwrap();
+            let ys = stat.try_forward_causal(&x).unwrap();
+            for (t, (row_d, row_s)) in yd.iter().zip(&ys).enumerate() {
+                for (r, (&a, &b)) in row_d.iter().zip(row_s).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "causal pos {t} logit {r} diverged: {a} vs {b}"
+                    );
+                }
+            }
+        } else {
+            let yd = det.try_forward_classify(&x).unwrap();
+            let ys = stat.try_forward_classify(&x).unwrap();
+            for (r, (&a, &b)) in yd.iter().zip(&ys).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "classify logit {r} diverged: {a} vs {b}");
+            }
+        }
     }
 }
 
